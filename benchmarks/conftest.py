@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper end-to-end
+(trace generation + all model simulations + aggregation) at the reduced
+"quick" scale, through ``benchmark.pedantic`` with a single round — the
+run itself *is* the experiment, so repeating it would only re-measure
+the same deterministic work.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import Settings, Sweep
+
+QUICK = Settings(all_programs=False, warmup=2_000, measure=6_000)
+
+
+def run_experiment(exp_id: str, settings: Settings | None = None):
+    module = importlib.import_module(EXPERIMENTS[exp_id])
+    return module.run(sweep=Sweep(settings or QUICK))
+
+
+@pytest.fixture
+def bench_experiment(benchmark):
+    """Benchmark one experiment once and return its result."""
+    def runner(exp_id: str):
+        return benchmark.pedantic(
+            run_experiment, args=(exp_id,), rounds=1, iterations=1)
+    return runner

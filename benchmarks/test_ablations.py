@@ -1,0 +1,99 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+
+def test_ablation_transition_penalty(bench_experiment):
+    result = bench_experiment("ablation_penalty")
+    assert result.series["gm_penalty_30"] > 0.95   # paper: <= 1.3% loss
+    print()
+    print(result.as_text())
+
+
+def test_ablation_policies(bench_experiment):
+    result = bench_experiment("ablation_policies")
+    assert result.series["gm_mlp"] >= result.series["gm_occupancy"]
+    assert result.series["gm_mlp"] >= result.series["gm_contribution"]
+    print()
+    print(result.as_text())
+
+
+def test_ablation_shrink_timer(bench_experiment):
+    result = bench_experiment("ablation_shrink")
+    # the paper's one-memory-latency timer is near-optimal
+    best = max(v for k, v in result.series.items() if k.startswith("gm_x"))
+    assert result.series["gm_x1"] > 0.93 * best
+    print()
+    print(result.as_text())
+
+
+def test_ablation_max_level(bench_experiment):
+    result = bench_experiment("ablation_maxlevel")
+    assert result.series["gm_max3"] >= result.series["gm_max1"]
+    print()
+    print(result.as_text())
+
+
+def test_ablation_level4(bench_experiment):
+    result = bench_experiment("ablation_level4")
+    # diminishing returns: level 4's gain over level 3 is smaller than
+    # level 3's gain over the base
+    gain4 = result.series["gm_max4"] / result.series["gm_max3"]
+    gain3 = result.series["gm_max3"]
+    assert gain4 < gain3
+    print()
+    print(result.as_text())
+
+
+def test_ablation_rcst(bench_experiment):
+    result = bench_experiment("ablation_rcst")
+    # both variants must stay sane; the paper notes the prediction is
+    # hard, so no direction is asserted
+    assert result.series["gm_with"] > 0.8
+    assert result.series["gm_without"] > 0.8
+    print()
+    print(result.as_text())
+
+
+def test_ablation_writeback(bench_experiment):
+    result = bench_experiment("ablation_writeback")
+    # the headline conclusion survives writeback bandwidth
+    assert result.series["gm_with_wb"] > 0.85 * result.series["gm_no_wb"]
+    assert result.series["gm_with_wb"] > 1.2
+    print()
+    print(result.as_text())
+
+
+def test_ablation_prefetcher(bench_experiment):
+    result = bench_experiment("ablation_prefetcher")
+    # the window pays under every prefetcher family
+    for kind in ("none", "nextline", "stream", "stride"):
+        assert result.series[f"gm_dyn_{kind}"] > 1.3
+    print()
+    print(result.as_text())
+
+
+def test_ablation_dram(bench_experiment):
+    result = bench_experiment("ablation_dram")
+    # the window pays under both DRAM models; the magnitude differs
+    assert result.series["gm_flat"] > 1.3
+    assert result.series["gm_banked"] > 1.1
+    print()
+    print(result.as_text())
+
+
+def test_ablation_multicore(bench_experiment):
+    result = bench_experiment("ablation_multicore")
+    # chip-level speedup on the memory-heavy mixes, neutral on compute
+    assert result.series["mem4"] > 1.15
+    assert result.series["comp4"] > 0.9
+    print()
+    print(result.as_text())
+
+
+def test_ablation_seeds(bench_experiment):
+    result = bench_experiment("ablation_seeds")
+    for seed in (1, 2, 3):
+        series = result.series[f"seed{seed}"]
+        assert series["mem"] > 1.2, f"seed {seed}"
+        assert 0.85 < series["comp"] < 1.15, f"seed {seed}"
+    print()
+    print(result.as_text())

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Figure 2 (window-size tradeoff)."""
+
+
+def test_fig02_window_tradeoff(bench_experiment):
+    result = bench_experiment("fig02")
+    libq = result.series["libquantum"]
+    gcc = result.series["gcc"]
+    assert libq["fixed"][2] > 1.3          # big window pays for memory
+    assert gcc["fixed"][2] < 1.0           # and costs ILP for compute
+    assert gcc["ideal"][2] > gcc["fixed"][2]
+    print()
+    print(result.as_text())

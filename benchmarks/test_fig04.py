@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 4 (L2 miss interval histogram)."""
+
+
+def test_fig04_miss_intervals(bench_experiment):
+    result = bench_experiment("fig04")
+    assert result.series["fraction_below_64"] > 0.4
+    assert 200 <= result.series["late_peak_bin_low"] <= 420
+    print()
+    print(result.as_text())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Figure 7 (the headline performance
+comparison: Fix L1-L3, dynamic resizing, ideal)."""
+
+
+def test_fig07_performance(bench_experiment):
+    result = bench_experiment("fig07")
+    assert result.series["gm_mem"] > 1.25      # paper: 1.48
+    assert 0.9 < result.series["gm_comp"] < 1.15   # paper: 1.04
+    assert result.series["gm_all"] > 1.1       # paper: 1.21
+    for program, row in result.series["per_program"].items():
+        assert row["res"] >= 0.8 * row["fixed_best"], program
+    print()
+    print(result.as_text())

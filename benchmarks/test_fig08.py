@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 8 (level residency)."""
+
+
+def test_fig08_level_residency(bench_experiment):
+    result = bench_experiment("fig08")
+    assert result.series["libquantum"][2] > 0.8
+    assert result.series["gcc"][0] > 0.5
+    print()
+    print(result.as_text())

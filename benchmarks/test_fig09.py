@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 9 (1/EDP energy efficiency)."""
+
+
+def test_fig09_energy(bench_experiment):
+    result = bench_experiment("fig09")
+    assert result.series["gm_mem"] > 1.1       # paper: 1.36
+    assert result.series["gm_all"] > 1.0       # paper: 1.08
+    print()
+    print(result.as_text())

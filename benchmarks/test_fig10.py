@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 10 (enlarged L2 comparison)."""
+
+
+def test_fig10_enlarged_l2(bench_experiment):
+    result = bench_experiment("fig10")
+    assert result.series["gm_l2"] < 1.1
+    assert result.series["gm_dyn"] > result.series["gm_l2"] + 0.1
+    print()
+    print(result.as_text())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 11 (cache pollution breakdown)."""
+
+
+def test_fig11_cache_pollution(bench_experiment):
+    result = bench_experiment("fig11")
+    for program in ("libquantum", "gcc"):
+        series = result.series[program]
+        assert series["resize_total"] < 1.6
+    print()
+    print(result.as_text())

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Figure 12 (runahead comparison)."""
+
+
+def test_fig12_runahead(bench_experiment):
+    result = bench_experiment("fig12")
+    assert result.series["gm_dyn_mem"] > result.series["gm_runahead_mem"]
+    assert result.series["gm_runahead_mem"] > 1.0
+    print()
+    print(result.as_text())

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate paper Table 3 (average load latencies)."""
+
+
+def test_table3_load_latency(bench_experiment):
+    result = bench_experiment("table3")
+    assert result.series["agreement"] >= 0.9
+    print()
+    print(result.as_text())

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate paper Table 4 (cost vs speedup)."""
+
+import pytest
+
+
+def test_table4_cost(bench_experiment):
+    result = bench_experiment("table4")
+    assert result.series["extra_mm2"] == pytest.approx(1.6)
+    assert result.series["speedup"] - 1 > result.series["pollack"] * 2
+    print()
+    print(result.as_text())

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table 5 (misprediction distances)."""
+
+
+def test_table5_mispredict_distance(bench_experiment):
+    result = bench_experiment("table5")
+    assert result.series["gobmk"] < result.series["GemsFDTD"]
+    assert result.series["sjeng"] < result.series["libquantum"]
+    print()
+    print(result.as_text())

@@ -1,0 +1,54 @@
+"""Four cores, one chip: resizing under shared-LLC contention.
+
+The paper prices its scheme for all four Sandy Bridge cores (Table 4);
+this example actually runs that chip — four cores with private L1s and
+per-core MLP-aware controllers sharing an 8MB LLC and one memory
+channel — on a mixed workload, and shows who gains what.
+
+Run:  python examples/four_core_chip.py
+"""
+
+from dataclasses import replace
+
+from repro import base_config, dynamic_config, generate_trace, profile
+from repro.config import CacheConfig
+from repro.multicore import simulate_multicore
+
+PROGRAMS = ("libquantum", "leslie3d", "gcc", "sjeng")
+
+
+def chip(config):
+    llc = CacheConfig(size_bytes=8 * 1024 * 1024, assoc=16, line_bytes=64,
+                      hit_latency=18, mshr_entries=64)
+    return replace(config, l2=llc)
+
+
+def run_chip(core_config):
+    traces = [generate_trace(profile(p), n_ops=12_000, seed=1)
+              for p in PROGRAMS]
+    return simulate_multicore([chip(core_config)] * 4, traces,
+                              warmup=2_000, measure=8_000)
+
+
+def main() -> None:
+    base_sys = run_chip(base_config())
+    dyn_sys = run_chip(dynamic_config(3))
+
+    print(f"{'core':<12} {'base IPC':>9} {'dyn IPC':>9} {'speedup':>8}  "
+          f"levels (dyn)")
+    for program, b, d in zip(PROGRAMS, base_sys.results(),
+                             dyn_sys.results()):
+        shares = " ".join(f"L{k}:{v:.0%}"
+                          for k, v in d.level_residency.items())
+        print(f"{program:<12} {b.ipc:>9.3f} {d.ipc:>9.3f} "
+              f"{d.ipc / b.ipc:>7.2f}x  {shares}")
+    print(f"\nchip throughput : {base_sys.throughput():.2f} -> "
+          f"{dyn_sys.throughput():.2f} "
+          f"({dyn_sys.throughput() / base_sys.throughput():.2f}x)")
+    print(f"channel busy    : {base_sys.channel_utilisation():.0%} -> "
+          f"{dyn_sys.channel_utilisation():.0%} "
+          "(the window converts idle bandwidth into performance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""When does a bigger window pay?  A micro-kernel parameter study.
+
+Sweeps the random-access kernel's working set through the L2 capacity
+(2MB) and measures the level-3 window's payoff: below the L2 size there
+are no misses to overlap, far above it the channel saturates — the
+sweet spot is in between.  Also contrasts the pointer-chase kernel,
+where no window ever helps.
+
+Run:  python examples/kernel_study.py
+"""
+
+from repro import dynamic_config, fixed_config, generate_trace, simulate
+from repro.workloads import pointer_chase_kernel, random_access_kernel
+
+
+def speedup(profile) -> tuple[float, float]:
+    trace = generate_trace(profile, n_ops=14_000, seed=1)
+    base = simulate(fixed_config(1), trace, warmup=3_000, measure=10_000)
+    dyn = simulate(dynamic_config(3), trace, warmup=3_000, measure=10_000)
+    return base.avg_load_latency, dyn.ipc / base.ipc
+
+
+def main() -> None:
+    print("=== random-access kernel: working-set sweep (L2 = 2MB) ===")
+    print(f"{'working set':>12} {'load lat':>9} {'L3-window speedup':>18}")
+    for mb in (0.5, 1, 2, 4, 8, 16, 32):
+        lat, ratio = speedup(random_access_kernel(working_set_mb=mb))
+        bar = "#" * round(20 * (ratio - 1)) if ratio > 1 else ""
+        print(f"{mb:>10.1f}MB {lat:>9.1f} {ratio:>9.2f}x  {bar}")
+
+    print("\n=== pointer-chase kernel: the window cannot help ===")
+    print(f"{'chase frac':>12} {'load lat':>9} {'L3-window speedup':>18}")
+    for frac in (0.02, 0.05, 0.10, 0.20):
+        lat, ratio = speedup(pointer_chase_kernel(chase_frac=frac))
+        print(f"{frac:>12.2f} {lat:>9.1f} {ratio:>9.2f}x")
+
+    print("\nserial chains bound the critical path regardless of window "
+          "size; independent misses are where the mechanism earns its area")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+Kept so the package installs offline (``python setup.py develop``) where
+PEP 517 build isolation cannot download build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — MLP-aware dynamic instruction window resizing, reproduced.
+
+A from-scratch Python reproduction of Kora, Yamaguchi & Ando,
+"MLP-Aware Dynamic Instruction Window Resizing for Adaptively Exploiting
+Both ILP and MLP", MICRO-46 (2013): a cycle-level out-of-order processor
+simulator, the MLP-aware window resizing mechanism, a runahead-execution
+comparator, synthetic SPEC2006-like workloads, and an energy/area model —
+plus one experiment harness per table and figure of the paper.
+
+Quick start::
+
+    from repro import simulate, dynamic_config, base_config, generate_trace
+    from repro.workloads import profile
+
+    trace = generate_trace(profile("libquantum"), n_ops=40_000, seed=1)
+    base = simulate(base_config(), trace)
+    resized = simulate(dynamic_config(), trace)
+    print(f"speedup: {resized.ipc / base.ipc:.2f}x")
+"""
+
+from repro.config import (
+    ModelKind,
+    ProcessorConfig,
+    ResourceLevel,
+    LEVEL_TABLE,
+    LEVEL_TRANSITION_PENALTY,
+    base_config,
+    fixed_config,
+    ideal_config,
+    dynamic_config,
+    runahead_config,
+)
+from repro.pipeline import Processor, simulate
+from repro.workloads import (
+    ProgramProfile,
+    TraceGenerator,
+    Trace,
+    generate_trace,
+    profile,
+    program_names,
+    PROFILES,
+)
+from repro.core import MLPAwarePolicy, StaticPolicy, make_policy
+from repro.multicore import MultiCoreSystem, simulate_multicore
+from repro.analysis import cpi_stack
+from repro.energy import EnergyModel, AreaModel
+from repro.stats import SimulationResult, geometric_mean
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelKind",
+    "ProcessorConfig",
+    "ResourceLevel",
+    "LEVEL_TABLE",
+    "LEVEL_TRANSITION_PENALTY",
+    "base_config",
+    "fixed_config",
+    "ideal_config",
+    "dynamic_config",
+    "runahead_config",
+    "Processor",
+    "simulate",
+    "ProgramProfile",
+    "TraceGenerator",
+    "Trace",
+    "generate_trace",
+    "profile",
+    "program_names",
+    "PROFILES",
+    "MLPAwarePolicy",
+    "StaticPolicy",
+    "make_policy",
+    "EnergyModel",
+    "AreaModel",
+    "SimulationResult",
+    "geometric_mean",
+    "MultiCoreSystem",
+    "simulate_multicore",
+    "cpi_stack",
+    "__version__",
+]

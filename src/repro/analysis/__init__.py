@@ -1,0 +1,11 @@
+"""Performance analysis tools built on the simulator's statistics.
+
+* :mod:`repro.analysis.cpi` — CPI stacks from commit-stall attribution:
+  *where* the cycles go (DRAM, cache, dependences, front end), the
+  quantitative backbone of the paper's ILP/MLP story.
+"""
+
+from repro.analysis.cpi import CPIStack, cpi_stack, render_cpi_stack, compare_cpi_stacks
+
+__all__ = ["CPIStack", "cpi_stack", "render_cpi_stack",
+           "compare_cpi_stacks"]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run one program on one model and print the results.
+* ``compare``  — run one program on every model side by side.
+* ``programs`` — list the available workload profiles.
+* ``levels``   — print the window resource level table (paper Table 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.config import (
+    LEVEL_TABLE,
+    base_config,
+    dynamic_config,
+    fixed_config,
+    ideal_config,
+    runahead_config,
+)
+from repro.energy import EnergyModel
+from repro.pipeline import simulate
+from repro.workloads import PROFILES, generate_trace, profile
+
+_MODELS = {
+    "base": lambda level: base_config(),
+    "fixed": fixed_config,
+    "ideal": ideal_config,
+    "dynamic": lambda level: dynamic_config(level),
+    "runahead": lambda level: runahead_config(),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", choices=sorted(PROFILES),
+                        metavar="PROGRAM",
+                        help="SPEC2006 program profile name")
+    parser.add_argument("--measure", type=int, default=15_000)
+    parser.add_argument("--warmup", type=int, default=4_000)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _simulate(args, model: str, level: int):
+    trace = generate_trace(profile(args.program),
+                           n_ops=args.warmup + args.measure + 1000,
+                           seed=args.seed)
+    config = _MODELS[model](level)
+    result = simulate(config, trace, warmup=args.warmup,
+                      measure=args.measure)
+    EnergyModel().annotate(result, config)
+    return result
+
+
+def cmd_simulate(args) -> int:
+    result = _simulate(args, args.model, args.level)
+    print(result.summary_line())
+    print(f"  mispredict rate : {result.mispredict_rate:.2%}")
+    print(f"  energy          : {result.energy_nj / 1e3:.1f} uJ   "
+          f"EDP {result.edp:.3g}")
+    if result.level_residency:
+        shares = ", ".join(f"L{k}: {v:.0%}"
+                           for k, v in result.level_residency.items())
+        print(f"  level residency : {shares}")
+    if args.energy_breakdown:
+        from repro.energy import render_breakdown
+        config = _MODELS[args.model](args.level)
+        print(render_breakdown(result, config))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    base = _simulate(args, "base", 1)
+    rows = [("base (fix L1)", base)]
+    for level in (2, 3):
+        rows.append((f"fixed L{level}", _simulate(args, "fixed", level)))
+    rows.append(("dynamic", _simulate(args, "dynamic", 3)))
+    rows.append(("runahead", _simulate(args, "runahead", 1)))
+    print(f"{'model':<14} {'IPC':>7} {'vs base':>8} {'loadlat':>8} "
+          f"{'MLP':>6} {'1/EDP':>7}")
+    for name, res in rows:
+        inv_edp = base.edp / res.edp if res.edp else 0.0
+        print(f"{name:<14} {res.ipc:>7.3f} {res.ipc / base.ipc:>7.2f}x "
+              f"{res.avg_load_latency:>8.1f} {res.mlp:>6.2f} "
+              f"{inv_edp:>7.2f}")
+    return 0
+
+
+def cmd_programs(args) -> int:
+    print(f"{'program':<12} {'type':<5} {'category':<18} "
+          f"{'paper load latency':>18}")
+    for name, prof in PROFILES.items():
+        category = ("memory-intensive" if prof.memory_intensive
+                    else "compute-intensive")
+        print(f"{name:<12} {prof.category:<5} {category:<18} "
+              f"{prof.paper_load_latency:>15.0f} cyc")
+    return 0
+
+
+def cmd_levels(args) -> int:
+    print(f"{'level':>5} {'IQ':>5} {'ROB':>5} {'LSQ':>5} "
+          f"{'IQ depth':>9} {'extra wakeup':>13} {'extra bpenalty':>15}")
+    for i, lvl in enumerate(LEVEL_TABLE, start=1):
+        print(f"{i:>5} {lvl.iq_entries:>5} {lvl.rob_entries:>5} "
+              f"{lvl.lsq_entries:>5} {lvl.iq_depth:>9} "
+              f"{lvl.extra_wakeup_delay:>13} {lvl.extra_branch_penalty:>15}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MLP-aware dynamic instruction window "
+                                  "resizing — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one program on one model")
+    _add_common(p_sim)
+    p_sim.add_argument("--model", choices=sorted(_MODELS), default="dynamic")
+    p_sim.add_argument("--level", type=int, default=3,
+                       help="fixed level / dynamic max level")
+    p_sim.add_argument("--energy-breakdown", action="store_true",
+                       help="print the per-component energy split")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_cmp = sub.add_parser("compare", help="all models on one program")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_prog = sub.add_parser("programs", help="list workload profiles")
+    p_prog.set_defaults(func=cmd_programs)
+
+    p_lvl = sub.add_parser("levels", help="print the level table")
+    p_lvl.set_defaults(func=cmd_levels)
+
+    p_val = sub.add_parser(
+        "validate", help="self-check the reproduction's headline claims")
+    p_val.set_defaults(func=lambda args: __import__(
+        "repro.validation", fromlist=["main"]).main())
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

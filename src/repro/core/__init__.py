@@ -1,0 +1,32 @@
+"""The paper's contribution: MLP-aware dynamic instruction window resizing.
+
+:class:`~repro.core.resizing.MLPAwarePolicy` is a direct transcription of
+the algorithm in Figure 5 of the paper: enlarge the window resources one
+level on every L2 (LLC) miss, arm a shrink timer of one main-memory
+latency, and shrink one level when the timer expires — postponing the
+shrink (and stalling front-end allocation) until the FIFO regions to be
+removed are vacant.
+
+:mod:`~repro.core.policies` additionally provides the comparator policies
+discussed in the related-work section (occupancy-driven and
+ILP-contribution-driven resizing) for ablation experiments.
+"""
+
+from repro.core.resizing import MLPAwarePolicy, ResizeDecision
+from repro.core.policies import (
+    ResizingPolicy,
+    StaticPolicy,
+    OccupancyPolicy,
+    ContributionPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "MLPAwarePolicy",
+    "ResizeDecision",
+    "ResizingPolicy",
+    "StaticPolicy",
+    "OccupancyPolicy",
+    "ContributionPolicy",
+    "make_policy",
+]

@@ -1,0 +1,189 @@
+"""Resizing policy interface and comparator policies.
+
+Besides the paper's MLP-aware policy (:mod:`repro.core.resizing`), this
+module implements simplified versions of the two prior-art resizing
+policies the related-work section contrasts against, for the ablation
+benches:
+
+* :class:`OccupancyPolicy` — demand-driven resizing in the spirit of
+  Ponomarev et al. (MICRO'01): shrink when average IQ occupancy is low,
+  enlarge when dispatch stalls on a full IQ.  The paper's criticism: the
+  IQ fills up even when no MLP is exploitable, so this policy enlarges
+  (and pays the pipelined-IQ ILP penalty) without benefit.
+* :class:`ContributionPolicy` — ILP-feedback resizing in the spirit of
+  Folegnani & González (ISCA'01): periodically probe a larger window and
+  keep it only if commit throughput improved.  The paper's criticism: no
+  systematic enlargement trigger, so it reacts slowly to miss clusters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.pipeline.resources import WindowSet
+
+
+class ResizeDecision:
+    """What a policy asks the processor to do this cycle."""
+
+    __slots__ = ("new_level", "stop_alloc")
+
+    def __init__(self, new_level: int | None = None,
+                 stop_alloc: bool = False) -> None:
+        self.new_level = new_level
+        self.stop_alloc = stop_alloc
+
+    def __repr__(self) -> str:
+        return f"<ResizeDecision level={self.new_level} stop={self.stop_alloc}>"
+
+
+class ResizingPolicy(ABC):
+    """Per-cycle window resizing decision maker."""
+
+    level: int
+
+    @abstractmethod
+    def on_l2_miss(self, cycle: int) -> None:
+        """Observe a demand LLC miss detected at ``cycle``."""
+
+    @abstractmethod
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        """Run one controller cycle."""
+
+    def next_timer(self) -> int | None:
+        """Next cycle the policy must observe even if the core is idle."""
+        return None
+
+    @property
+    def wants_tick_every_cycle(self) -> bool:
+        return False
+
+
+class StaticPolicy(ResizingPolicy):
+    """Fixed level for the whole run (the FIXED and IDEAL models)."""
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+
+    def on_l2_miss(self, cycle: int) -> None:
+        pass
+
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        return ResizeDecision()
+
+
+class OccupancyPolicy(ResizingPolicy):
+    """Demand-driven resizing (Ponomarev-style), period-sampled."""
+
+    def __init__(self, max_level: int, period: int = 2048,
+                 shrink_threshold: float = 0.55,
+                 enlarge_stall_threshold: float = 0.05) -> None:
+        self.max_level = max_level
+        self.period = period
+        self.shrink_threshold = shrink_threshold
+        self.enlarge_stall_threshold = enlarge_stall_threshold
+        self.level = 1
+        self._next_check = period
+        self._occ_sum = 0
+        self._samples = 0
+        self._last_full_events = 0
+        self._want_shrink = False
+
+    def on_l2_miss(self, cycle: int) -> None:
+        pass   # occupancy-driven: blind to MLP, by design
+
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        self._occ_sum += window.iq.occupancy
+        self._samples += 1
+        if self._want_shrink:
+            if window.can_shrink_to(self.level - 1):
+                self.level -= 1
+                self._want_shrink = False
+                return ResizeDecision(new_level=self.level)
+            return ResizeDecision(stop_alloc=True)
+        if cycle < self._next_check:
+            return ResizeDecision()
+        self._next_check = cycle + self.period
+        avg_occ = self._occ_sum / max(1, self._samples)
+        full_events = window.iq.full_events - self._last_full_events
+        self._last_full_events = window.iq.full_events
+        self._occ_sum = 0
+        self._samples = 0
+        stall_rate = full_events / self.period
+        if (stall_rate > self.enlarge_stall_threshold
+                and self.level < self.max_level):
+            self.level += 1
+            return ResizeDecision(new_level=self.level)
+        if (self.level > 1
+                and avg_occ < self.shrink_threshold
+                * window.levels[self.level - 2].iq_entries):
+            self._want_shrink = True
+        return ResizeDecision()
+
+    @property
+    def wants_tick_every_cycle(self) -> bool:
+        return True   # it samples occupancy continuously
+
+
+class ContributionPolicy(ResizingPolicy):
+    """ILP-feedback resizing (Folegnani-style), probe-and-keep."""
+
+    def __init__(self, max_level: int, period: int = 4096,
+                 keep_gain: float = 1.03) -> None:
+        self.max_level = max_level
+        self.period = period
+        self.keep_gain = keep_gain
+        self.level = 1
+        self._next_check = period
+        self._commits_at_check = 0
+        self._last_rate = 0.0
+        self._probing = False
+        self._want_shrink = False
+        self.committed = 0   # updated by the processor each commit
+
+    def on_l2_miss(self, cycle: int) -> None:
+        pass
+
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        if self._want_shrink:
+            if window.can_shrink_to(self.level - 1):
+                self.level -= 1
+                self._want_shrink = False
+                return ResizeDecision(new_level=self.level)
+            return ResizeDecision(stop_alloc=True)
+        if cycle < self._next_check:
+            return ResizeDecision()
+        rate = (self.committed - self._commits_at_check) / self.period
+        self._commits_at_check = self.committed
+        self._next_check = cycle + self.period
+        if self._probing:
+            self._probing = False
+            if rate < self._last_rate * self.keep_gain and self.level > 1:
+                self._want_shrink = True   # probe did not pay off
+            self._last_rate = max(rate, self._last_rate)
+            return ResizeDecision()
+        self._last_rate = rate
+        if self.level < self.max_level:
+            self._probing = True
+            self.level += 1
+            return ResizeDecision(new_level=self.level)
+        return ResizeDecision()
+
+    @property
+    def wants_tick_every_cycle(self) -> bool:
+        return True
+
+
+def make_policy(name: str, max_level: int, memory_latency: int) -> ResizingPolicy:
+    """Policy factory for the ablation experiments."""
+    from repro.core.resizing import MLPAwarePolicy
+    if name == "mlp":
+        return MLPAwarePolicy(max_level, memory_latency)
+    if name == "occupancy":
+        return OccupancyPolicy(max_level)
+    if name == "contribution":
+        return ContributionPolicy(max_level)
+    if name == "static":
+        return StaticPolicy(1)
+    raise ValueError(f"unknown policy {name!r}; "
+                     "known: mlp, occupancy, contribution, static")

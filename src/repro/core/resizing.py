@@ -1,0 +1,123 @@
+"""MLP-aware dynamic instruction window resizing (paper Figure 5).
+
+The policy predicts that once an L2 cache miss occurs, more misses will
+follow shortly (misses cluster in time — paper Figure 4), so MLP is
+exploitable and the window should grow; once a full memory latency passes
+without a miss, the cluster is over, ILP matters more, and the window
+should shrink.
+
+The pseudo-code from the paper, reproduced for reference::
+
+    foreach cycle {
+      if (L2_miss) {
+        level = min(level + 1, max_level);          // enlarge
+        shrink_timing = cycle + memory_latency;
+        do_shrink = 0;
+      } else if (cycle == shrink_timing) {
+        do_shrink = 1;
+      }
+      if (level > 1 && do_shrink) {
+        if (is_shrinkable(level)) {
+          level = level - 1;                        // shrink
+          shrink_timing = cycle + memory_latency;
+          do_shrink = 0;
+        } else {
+          stop_alloc();   // drain the region to be removed
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.policies import ResizeDecision, ResizingPolicy
+from repro.pipeline.resources import WindowSet
+
+
+class MLPAwarePolicy(ResizingPolicy):
+    """The paper's LLC-miss-driven resizing policy."""
+
+    def __init__(self, max_level: int, memory_latency: int,
+                 shrink_latency: int | None = None) -> None:
+        """``shrink_latency`` overrides the shrink timer duration (the
+        paper uses the memory latency; the ablation benches sweep it)."""
+        if max_level < 1:
+            raise ValueError("max_level must be >= 1")
+        if memory_latency < 1:
+            raise ValueError("memory_latency must be >= 1")
+        self.max_level = max_level
+        self.memory_latency = memory_latency
+        self.shrink_latency = (memory_latency if shrink_latency is None
+                               else shrink_latency)
+        self.level = 1
+        self.shrink_timing = -1
+        self.do_shrink = False
+        #: distinct cycles with >= 1 pending demand L2 miss, in order
+        self._pending_misses: deque[int] = deque()
+        self.enlarges = 0
+        self.shrinks = 0
+
+    # ------------------------------------------------------------------
+
+    def on_l2_miss(self, cycle: int) -> None:
+        """Note a demand L2 miss detected at ``cycle``.
+
+        Misses are coalesced per *cycle*: the pseudo-code tests a
+        per-cycle ``L2_miss`` condition, so several misses detected in
+        the same cycle raise the level only once — but misses in
+        distinct cycles each count.
+        """
+        if not self._pending_misses or cycle > self._pending_misses[-1]:
+            self._pending_misses.append(cycle)
+        elif cycle < self._pending_misses[-1]:
+            # out-of-order notification within the same tick window
+            if cycle not in self._pending_misses:
+                self._pending_misses.append(cycle)
+                self._pending_misses = deque(sorted(self._pending_misses))
+
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        """One controller cycle; returns the decision for the processor."""
+        pending = self._pending_misses
+        processed = 0
+        last_miss = -1
+        while pending and pending[0] <= cycle:
+            last_miss = pending.popleft()
+            processed += 1
+        if processed:
+            new_level = min(self.level + processed, self.max_level)
+            self.shrink_timing = last_miss + self.shrink_latency
+            self.do_shrink = False
+            if new_level != self.level:
+                self.enlarges += new_level - self.level
+                self.level = new_level
+                return ResizeDecision(new_level=new_level)
+            return ResizeDecision()
+        if self.shrink_timing >= 0 and cycle >= self.shrink_timing:
+            self.do_shrink = True
+            self.shrink_timing = -1
+        if self.level > 1 and self.do_shrink:
+            if window.can_shrink_to(self.level - 1):
+                self.level -= 1
+                self.shrinks += 1
+                self.shrink_timing = cycle + self.shrink_latency
+                self.do_shrink = False
+                return ResizeDecision(new_level=self.level)
+            return ResizeDecision(stop_alloc=True)
+        return ResizeDecision()
+
+    def next_timer(self) -> int | None:
+        """Next cycle at which this policy needs to run even if the
+        pipeline is otherwise idle (lets the simulator fast-forward)."""
+        candidates = []
+        if self._pending_misses:
+            candidates.append(self._pending_misses[0])
+        if self.shrink_timing >= 0:
+            candidates.append(self.shrink_timing)
+        return min(candidates) if candidates else None
+
+    @property
+    def wants_tick_every_cycle(self) -> bool:
+        """While a shrink is pending we must retry the vacancy check."""
+        return self.do_shrink and self.level > 1

@@ -1,0 +1,44 @@
+"""Analytical energy, power and area models (the McPAT/CACTI substitute).
+
+The paper uses McPAT (32nm, 350K) for the energy-efficiency study
+(Figure 9, 1/EDP) and for the area cost accounting (Table 4).  Neither
+tool is available offline, so this package provides an activity-based
+analytical model:
+
+* **dynamic energy** — every pipeline event (fetch, rename, IQ write /
+  wakeup / select, ROB read/write, LSQ search, FU op, cache access, DRAM
+  transfer) is charged an energy that scales with the *active* size of
+  the structure involved (a CAM broadcast across 256 live IQ entries
+  costs 4x one across 64);
+* **leakage** — proportional to structure size and time, with the gated
+  unused region of a resized resource leaking at a reduced rate (the
+  paper gates signals and disables precharge in the unused region);
+* **area** — per-entry coefficients for the window resources calibrated
+  to the paper's Table 4 (1.6 mm^2 of additional window resources at
+  32nm; 6% of the 25 mm^2 base core; 3% of a 216 mm^2 Sandy Bridge
+  chip).
+
+Absolute joules are not meaningful; *ratios between configurations of the
+same model* are, and those are all Figure 9 / Table 4 report.
+"""
+
+from repro.energy.model import EnergyModel, EnergyParams, EnergyBreakdown
+from repro.energy.area import AreaModel, AREA_BASE_CORE_MM2, AREA_SB_CORE_MM2, AREA_SB_CHIP_MM2
+from repro.energy.report import (
+    breakdown_rows,
+    compare_breakdowns,
+    render_breakdown,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "AreaModel",
+    "AREA_BASE_CORE_MM2",
+    "AREA_SB_CORE_MM2",
+    "AREA_SB_CHIP_MM2",
+    "breakdown_rows",
+    "compare_breakdowns",
+    "render_breakdown",
+]

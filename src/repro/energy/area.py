@@ -1,0 +1,98 @@
+"""Area model for the cost/performance analysis (paper Table 4).
+
+Per-entry area coefficients at 32nm for the window resources, calibrated
+so the level-1 → level-3 enlargement (IQ 64→256, ROB 128→512, LSQ
+64→256) costs the paper's 1.6 mm².  Reference areas come straight from
+Section 5.5: 25 mm² base core (includes a 2MB L2 of 8.6 mm² per McPAT),
+19 mm² Sandy Bridge core, 216 mm² Sandy Bridge chip (four cores).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import ProcessorConfig, ResourceLevel
+
+AREA_BASE_CORE_MM2 = 25.0
+AREA_SB_CORE_MM2 = 19.0
+AREA_SB_CHIP_MM2 = 216.0
+AREA_L2_2MB_MM2 = 8.6
+#: paper Table 4: additional window resources cost 1.6 mm^2
+AREA_EXTRA_TARGET_MM2 = 1.6
+
+# Relative per-entry weights: the IQ entry is a CAM (costly), the ROB
+# entry carries a physical register, the LSQ entry an address CAM.
+_W_IQ = 2.0
+_W_ROB = 1.0
+_W_LSQ = 1.4
+
+
+def _weighted_entries(level: ResourceLevel) -> float:
+    return (_W_IQ * level.iq_entries + _W_ROB * level.rob_entries
+            + _W_LSQ * level.lsq_entries)
+
+
+@dataclass
+class AreaReport:
+    """Table 4 quantities for one configuration pair."""
+
+    extra_mm2: float
+    vs_base_core: float
+    vs_sb_core: float
+    vs_sb_chip: float
+    pollack_expected_speedup: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("additional area", f"{self.extra_mm2:.1f} mm^2"),
+            ("vs. base core", f"{self.vs_base_core:.0%}"),
+            ("vs. SB core", f"{self.vs_sb_core:.0%}"),
+            ("vs. SB chip", f"{self.vs_sb_chip:.0%}"),
+            ("speedup expected by Pollack's law",
+             f"{self.pollack_expected_speedup:.0%}"),
+        ]
+
+
+class AreaModel:
+    """Window-resource area accounting."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config
+        base = config.level_config(1)
+        top = config.level_config(config.max_level)
+        extra_weight = _weighted_entries(top) - _weighted_entries(base)
+        if extra_weight <= 0:
+            raise ValueError("top level does not enlarge the window")
+        #: mm^2 per weighted entry, calibrated to the paper's 1.6 mm^2
+        self.mm2_per_weighted_entry = AREA_EXTRA_TARGET_MM2 / extra_weight
+
+    def window_area_mm2(self, level: int) -> float:
+        """Area of the window resources provisioned at ``level``."""
+        return (_weighted_entries(self.config.level_config(level))
+                * self.mm2_per_weighted_entry)
+
+    def extra_area_mm2(self, max_level: int | None = None) -> float:
+        """Additional area of provisioning ``max_level`` over level 1."""
+        top = self.config.max_level if max_level is None else max_level
+        return self.window_area_mm2(top) - self.window_area_mm2(1)
+
+    def report(self, max_level: int | None = None) -> AreaReport:
+        extra = self.extra_area_mm2(max_level)
+        vs_base = extra / AREA_BASE_CORE_MM2
+        # Pollack's law: performance scales with sqrt(area).
+        pollack = math.sqrt(1.0 + vs_base) - 1.0
+        return AreaReport(
+            extra_mm2=extra,
+            vs_base_core=vs_base,
+            vs_sb_core=extra / AREA_SB_CORE_MM2,
+            # the paper applies the scheme to all four Sandy Bridge cores
+            vs_sb_chip=4 * extra / AREA_SB_CHIP_MM2,
+            pollack_expected_speedup=pollack,
+        )
+
+    @staticmethod
+    def l2_area_mm2(size_bytes: int, assoc: int) -> float:
+        """L2 area, linear in capacity, anchored at McPAT's 8.6 mm^2 for
+        the 2MB 4-way base configuration (Section 5.5)."""
+        return AREA_L2_2MB_MM2 * (size_bytes / (2 * 1024 * 1024))

@@ -1,0 +1,138 @@
+"""Activity-based dynamic + leakage energy model.
+
+All coefficients are in picojoules (per event, or per entry-cycle for
+leakage) chosen to give a plausible 32nm energy budget; the experiments
+only ever use energy *ratios* between model configurations, which is
+what the coefficients' relative magnitudes control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ProcessorConfig
+from repro.stats.report import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy coefficients (pJ per event unless noted)."""
+
+    fetch: float = 8.0
+    decode: float = 4.0
+    bpred: float = 6.0
+    rename: float = 6.0
+    #: IQ write per entry of active size (CAM + RAM write)
+    iq_write_per_entry: float = 0.08
+    #: wakeup broadcast per active entry (tag CAM match across the queue)
+    iq_wakeup_per_entry: float = 0.10
+    #: selection per active entry (prefix-sum select tree)
+    iq_select_per_entry: float = 0.04
+    #: ROB read/write per entry of active size (RAM with register field)
+    rob_access_per_entry: float = 0.02
+    #: LSQ address search per active entry (CAM)
+    lsq_search_per_entry: float = 0.09
+    fu_op: float = 12.0
+    l1_access: float = 20.0
+    l2_access: float = 90.0
+    dram_request: float = 2000.0
+    #: leakage per entry-cycle of window resource area
+    window_leak_per_entry_cycle: float = 0.004
+    #: relative leakage of the gated unused region (Section 4 of the
+    #: paper: signals gated, precharge disabled)
+    gated_leak_fraction: float = 0.25
+    #: fixed core leakage per cycle (everything that never resizes)
+    core_leak_per_cycle: float = 12.0
+    #: L2 leakage per cycle per KB
+    l2_leak_per_kb_cycle: float = 0.012
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one run, split by component (nanojoules)."""
+
+    frontend_nj: float
+    window_nj: float
+    execute_nj: float
+    memory_nj: float
+    leakage_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return (self.frontend_nj + self.window_nj + self.execute_nj
+                + self.memory_nj + self.leakage_nj)
+
+
+class EnergyModel:
+    """Evaluates a finished run into energy and EDP."""
+
+    def __init__(self, params: EnergyParams | None = None) -> None:
+        self.params = params or EnergyParams()
+
+    def breakdown(self, result: SimulationResult,
+                  config: ProcessorConfig) -> EnergyBreakdown:
+        if result.stats is None:
+            raise ValueError("result carries no raw stats; "
+                             "run with stats retained")
+        p = self.params
+        a = result.stats.activity
+        cycles = max(1, result.cycles)
+
+        avg_iq = a.iq_size_cycles / cycles
+        avg_rob = a.rob_size_cycles / cycles
+        avg_lsq = a.lsq_size_cycles / cycles
+
+        frontend = (a.fetches * p.fetch + a.decodes * p.decode
+                    + a.bpred_lookups * p.bpred + a.renames * p.rename)
+        window = (a.iq_writes * p.iq_write_per_entry * avg_iq
+                  + a.iq_wakeups * p.iq_wakeup_per_entry * avg_iq
+                  + a.iq_issues * p.iq_select_per_entry * avg_iq
+                  + (a.rob_writes + a.rob_reads)
+                  * p.rob_access_per_entry * avg_rob
+                  + a.lsq_searches * p.lsq_search_per_entry * avg_lsq)
+        execute = a.fu_ops * p.fu_op
+        mem = result.memory_stats
+        memory = ((mem.get("l1i_accesses", 0) + mem.get("l1d_accesses", 0))
+                  * p.l1_access
+                  + mem.get("l2_accesses", 0) * p.l2_access
+                  + mem.get("dram_requests", 0) * p.dram_request)
+
+        leak = p.window_leak_per_entry_cycle
+        window_leak = 0.0
+        for active, phys in ((a.iq_size_cycles, a.iq_max_cycles),
+                             (a.rob_size_cycles, a.rob_max_cycles),
+                             (a.lsq_size_cycles, a.lsq_max_cycles)):
+            gated = max(0, phys - active)
+            window_leak += active * leak + gated * leak * p.gated_leak_fraction
+        l2_kb = config.l2.size_bytes / 1024
+        leakage = (window_leak + cycles * p.core_leak_per_cycle
+                   + cycles * l2_kb * p.l2_leak_per_kb_cycle)
+
+        scale = 1e-3   # pJ -> nJ
+        return EnergyBreakdown(
+            frontend_nj=frontend * scale,
+            window_nj=window * scale,
+            execute_nj=execute * scale,
+            memory_nj=memory * scale,
+            leakage_nj=leakage * scale,
+        )
+
+    def annotate(self, result: SimulationResult,
+                 config: ProcessorConfig) -> SimulationResult:
+        """Fill ``energy_nj`` and ``edp`` on the result, in place."""
+        bd = self.breakdown(result, config)
+        result.energy_nj = bd.total_nj
+        result.edp = bd.total_nj * result.cycles
+        return result
+
+    @staticmethod
+    def inverse_edp_ratio(result: SimulationResult,
+                          base: SimulationResult) -> float:
+        """1/EDP of ``result`` normalised to ``base`` (Figure 9 metric).
+
+        Both runs must execute the same instruction count, as in the
+        paper, so cycle counts are comparable delays.
+        """
+        if result.edp <= 0 or base.edp <= 0:
+            raise ValueError("annotate() both results before comparing")
+        return base.edp / result.edp

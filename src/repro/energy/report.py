@@ -1,0 +1,63 @@
+"""Energy breakdown reporting.
+
+Renders the per-component energy of one or more runs — where the extra
+window power goes (the IQ's CAM broadcasts grow with the active size)
+and why the speedup still wins the EDP race on memory-intensive
+programs.
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.stats.report import SimulationResult
+
+_COMPONENTS = ("frontend", "window", "execute", "memory", "leakage")
+
+
+def breakdown_rows(bd: EnergyBreakdown) -> list[tuple[str, float, float]]:
+    """(component, nanojoules, share) rows for one breakdown."""
+    total = bd.total_nj or 1.0
+    rows = []
+    for name in _COMPONENTS:
+        value = getattr(bd, f"{name}_nj")
+        rows.append((name, value, value / total))
+    return rows
+
+
+def render_breakdown(result: SimulationResult, config: ProcessorConfig,
+                     model: EnergyModel | None = None) -> str:
+    """A text table of one run's energy split."""
+    bd = (model or EnergyModel()).breakdown(result, config)
+    lines = [f"energy breakdown — {result.program} ({result.model}, "
+             f"{result.cycles} cycles)"]
+    for name, value, share in breakdown_rows(bd):
+        bar = "#" * round(30 * share)
+        lines.append(f"  {name:<9} {value:>10.1f} nJ {share:>6.1%}  {bar}")
+    lines.append(f"  {'total':<9} {bd.total_nj:>10.1f} nJ")
+    return "\n".join(lines)
+
+
+def compare_breakdowns(results: list[tuple[str, SimulationResult,
+                                           ProcessorConfig]],
+                       model: EnergyModel | None = None) -> str:
+    """Side-by-side component energies for several runs.
+
+    ``results`` is a list of (label, result, config).
+    """
+    model = model or EnergyModel()
+    breakdowns = [(label, model.breakdown(res, cfg))
+                  for label, res, cfg in results]
+    header = f"{'component':<10}" + "".join(
+        f"{label:>14}" for label, __ in breakdowns)
+    lines = [header, "-" * len(header)]
+    for name in _COMPONENTS:
+        row = f"{name:<10}"
+        for __, bd in breakdowns:
+            row += f"{getattr(bd, f'{name}_nj'):>12.1f}nJ"
+        lines.append(row)
+    row = f"{'total':<10}"
+    for __, bd in breakdowns:
+        row += f"{bd.total_nj:>12.1f}nJ"
+    lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every module exposes ``run(settings) -> ExperimentResult`` and can also be
+executed directly (``python -m repro.experiments.fig07_performance``).
+``python -m repro.experiments`` runs the full evaluation.
+
+The shared machinery (simulation caching across models, settings, text
+rendering) lives in :mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import (
+    Settings,
+    ExperimentResult,
+    Sweep,
+    render_table,
+)
+
+#: experiment id -> module name, in paper order
+EXPERIMENTS = {
+    "fig02": "repro.experiments.fig02_window_tradeoff",
+    "fig04": "repro.experiments.fig04_miss_intervals",
+    "table3": "repro.experiments.table3_load_latency",
+    "fig07": "repro.experiments.fig07_performance",
+    "fig08": "repro.experiments.fig08_level_residency",
+    "fig09": "repro.experiments.fig09_energy",
+    "fig10": "repro.experiments.fig10_enlarged_l2",
+    "fig11": "repro.experiments.fig11_cache_pollution",
+    "table4": "repro.experiments.table4_cost",
+    "table5": "repro.experiments.table5_mispred_distance",
+    "fig12": "repro.experiments.fig12_runahead",
+    "ablation_penalty": "repro.experiments.ablation_transition_penalty",
+    "ablation_policies": "repro.experiments.ablation_policies",
+    "ablation_shrink": "repro.experiments.ablation_shrink_timer",
+    "ablation_maxlevel": "repro.experiments.ablation_max_level",
+    "ablation_level4": "repro.experiments.ablation_level4",
+    "ablation_rcst": "repro.experiments.ablation_rcst",
+    "ablation_writeback": "repro.experiments.ablation_writeback",
+    "ablation_prefetcher": "repro.experiments.ablation_prefetcher",
+    "ablation_dram": "repro.experiments.ablation_dram",
+    "ablation_multicore": "repro.experiments.ablation_multicore",
+    "ablation_seeds": "repro.experiments.ablation_seeds",
+}
+
+__all__ = ["Settings", "ExperimentResult", "Sweep", "render_table",
+           "EXPERIMENTS"]

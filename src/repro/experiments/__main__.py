@@ -1,0 +1,61 @@
+"""Run the full evaluation: every table and figure, sharing one sweep.
+
+Usage::
+
+    python -m repro.experiments [--selected] [--measure N] [--warmup N]
+                                [--only fig07,fig12] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import Settings, Sweep
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--selected", action="store_true",
+                        help="only the paper's selected programs")
+    parser.add_argument("--measure", type=int, default=15_000)
+    parser.add_argument("--warmup", type=int, default=4_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids")
+    parser.add_argument("--csv-dir", type=str, default="",
+                        help="also export each result as CSV+JSON here")
+    args = parser.parse_args(argv)
+
+    settings = Settings(all_programs=not args.selected, warmup=args.warmup,
+                        measure=args.measure, seed=args.seed)
+    wanted = [e for e in args.only.split(",") if e] or list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    sweep = Sweep(settings)
+    start = time.time()
+    results = []
+    for exp_id in wanted:
+        module = importlib.import_module(EXPERIMENTS[exp_id])
+        t0 = time.time()
+        result = module.run(sweep=sweep)
+        results.append(result)
+        print(result.as_text())
+        print(f"[{exp_id}: {time.time() - t0:.1f}s]\n")
+    if args.csv_dir:
+        from repro.experiments.export import export_results
+        written = export_results(results, args.csv_dir)
+        print(f"exported {len(written)} files to {args.csv_dir}")
+    print(f"total: {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

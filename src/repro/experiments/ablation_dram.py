@@ -1,0 +1,64 @@
+"""Ablation — flat channel vs bank/row-aware DRAM.
+
+The paper models main memory as a flat 300-cycle minimum latency behind
+an 8 B/cycle channel (Table 1).  This sweep swaps in the bank/row-buffer
+model (`memory/dram_banked.py`) — calibrated to the same uncontended
+row-hit latency — and re-measures the resizing speedup.  Expected:
+streaming programs get *cheaper* overlapped misses (row hits), scattered
+programs pay bank conflicts, and the headline conclusion stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import base_config, dynamic_config
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.stats import geometric_mean
+
+
+def _banked(config):
+    return replace(config, memory=replace(config.memory,
+                                          organisation="banked"))
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    result = ExperimentResult(
+        exp_id="ablation_dram",
+        title="Resizing speedup under flat vs bank/row-aware DRAM",
+        headers=["program", "speedup (flat)", "speedup (banked)",
+                 "row-hit rate"],
+    )
+    flat, banked = [], []
+    for program in sweep.settings.memory_programs():
+        base = sweep.base(program)
+        dyn = sweep.dynamic(program)
+        base_b = sweep.run(program, _banked(base_config()),
+                           key_extra=("dram", "base"))
+        dyn_b = sweep.run(program, _banked(dynamic_config(3)),
+                          key_extra=("dram", "dyn"))
+        r_flat = dyn.ipc / base.ipc
+        r_banked = dyn_b.ipc / base_b.ipc
+        flat.append(r_flat)
+        banked.append(r_banked)
+        hits = dyn_b.memory_stats.get("row_hit_rate", 0.0)
+        result.rows.append([program, f"{r_flat:.2f}", f"{r_banked:.2f}",
+                            f"{hits:.0%}"])
+    gm_flat, gm_banked = geometric_mean(flat), geometric_mean(banked)
+    result.rows.append(["GM mem", f"{gm_flat:.2f}", f"{gm_banked:.2f}", ""])
+    result.series["gm_flat"] = gm_flat
+    result.series["gm_banked"] = gm_banked
+    result.notes.append(
+        "finding: row-missing scattered/multi-stream traffic sustains "
+        "~half the flat model's bandwidth (realistic for DDR-class "
+        "parts), which halves the bandwidth-hungry programs' speedup — "
+        "the window still pays everywhere, but the *magnitude* of the "
+        "memory-intensive GM is sensitive to the DRAM model")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

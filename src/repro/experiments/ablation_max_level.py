@@ -1,0 +1,51 @@
+"""Ablation — maximum window level.
+
+How much of the benefit comes from each enlargement step: dynamic
+resizing capped at level 1 (= base), 2, and 3.  The paper provisions
+level 3 (4x window) and shows level-by-level gains in Figure 7's fixed
+models; this sweep shows them under the adaptive policy.
+"""
+
+from __future__ import annotations
+
+from repro.config import dynamic_config
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.stats import geometric_mean
+
+MAX_LEVELS = (1, 2, 3)
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    result = ExperimentResult(
+        exp_id="ablation_maxlevel",
+        title="Dynamic resizing IPC vs maximum level "
+              "(normalised by base)",
+        headers=["program"] + [f"max L{m}" for m in MAX_LEVELS],
+    )
+    ratios: dict[int, list[float]] = {m: [] for m in MAX_LEVELS}
+    for program in sweep.settings.programs():
+        base_ipc = sweep.base(program).ipc
+        row = [program]
+        for max_level in MAX_LEVELS:
+            res = sweep.run(program, dynamic_config(max_level))
+            ratio = res.ipc / base_ipc
+            ratios[max_level].append(ratio)
+            row.append(f"{ratio:.2f}")
+        result.rows.append(row)
+    gm_row = ["GM all"]
+    for max_level in MAX_LEVELS:
+        gm = geometric_mean(ratios[max_level])
+        gm_row.append(f"{gm:.2f}")
+        result.series[f"gm_max{max_level}"] = gm
+    result.rows.append(gm_row)
+    result.notes.append(
+        "max L1 is the base by construction; each additional level "
+        "should add memory-side speedup without hurting compute programs")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

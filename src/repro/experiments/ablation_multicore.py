@@ -1,0 +1,78 @@
+"""Extension — resizing on all four cores of a chip.
+
+The paper's Table 4 prices the scheme for all four Sandy Bridge cores
+but evaluates one.  Here we run a four-core system (shared 2MB L2 and
+one memory channel) over mixed workloads and compare all-base against
+all-dynamic: does per-core MLP-aware resizing still pay when the cores
+*compete* for the LLC and the channel it exploits?
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import CacheConfig, base_config, dynamic_config
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.multicore import simulate_multicore
+from repro.workloads import generate_trace, profile
+
+
+def chip_config(single_core):
+    """Four-core chip configuration: the shared LLC is the Sandy
+    Bridge-like 8MB/16-way, not one core's private 2MB."""
+    llc = CacheConfig(size_bytes=8 * 1024 * 1024, assoc=16,
+                      line_bytes=64, hit_latency=18,
+                      mshr_entries=64)
+    return replace(single_core, l2=llc)
+
+#: four-core workload mixes: all-memory, all-compute, and two blends
+MIXES = {
+    "mem4": ("libquantum", "leslie3d", "sphinx3", "mcf"),
+    "mix31": ("libquantum", "leslie3d", "sphinx3", "gcc"),
+    "mix22": ("libquantum", "omnetpp", "gcc", "sjeng"),
+    "comp4": ("gcc", "sjeng", "gobmk", "perlbench"),
+}
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    settings = (sweep.settings if sweep is not None
+                else settings) or Settings()
+    result = ExperimentResult(
+        exp_id="ablation_multicore",
+        title="Four cores, shared L2 + channel: all-base vs all-dynamic",
+        headers=["mix", "throughput base", "throughput dyn", "speedup",
+                 "channel util base", "channel util dyn"],
+    )
+    n_ops = settings.trace_ops
+    for mix, programs in MIXES.items():
+        traces = [generate_trace(profile(p), n_ops=n_ops, seed=settings.seed)
+                  for p in programs]
+        base_sys = simulate_multicore([chip_config(base_config())] * 4, traces,
+                                      warmup=settings.warmup,
+                                      measure=settings.measure)
+        traces = [generate_trace(profile(p), n_ops=n_ops, seed=settings.seed)
+                  for p in programs]
+        dyn_sys = simulate_multicore([chip_config(dynamic_config(3))] * 4, traces,
+                                     warmup=settings.warmup,
+                                     measure=settings.measure)
+        base_ipc = base_sys.throughput()
+        dyn_ipc = dyn_sys.throughput()
+        speedup = dyn_ipc / base_ipc if base_ipc else 0.0
+        result.rows.append([
+            mix, f"{base_ipc:.2f}", f"{dyn_ipc:.2f}", f"{speedup:.2f}",
+            f"{base_sys.channel_utilisation():.0%}",
+            f"{dyn_sys.channel_utilisation():.0%}"])
+        result.series[mix] = speedup
+    result.notes.append(
+        "chip configuration: 8MB/16-way shared LLC (Sandy-Bridge-like), "
+        "one shared channel.  Expected: chip-level speedup on memory-"
+        "heavy mixes — the channel-utilisation column shows the dynamic "
+        "cores converting bandwidth the base cores leave idle — and "
+        "little change on the all-compute mix")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

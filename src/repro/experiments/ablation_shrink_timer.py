@@ -1,0 +1,59 @@
+"""Ablation — shrink-timer duration.
+
+The paper shrinks one level after one *memory latency* without an L2
+miss (Figure 5, line 9).  This sweep varies that timer to justify the
+choice: a much shorter timer shrinks mid-cluster (losing MLP), a much
+longer one lingers at high levels into compute phases (losing ILP).
+"""
+
+from __future__ import annotations
+
+from repro.config import dynamic_config
+from repro.core.resizing import MLPAwarePolicy
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.stats import geometric_mean
+
+#: shrink timer as a multiple of the memory latency
+MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    config = dynamic_config(3)
+    mem_latency = config.memory.min_latency
+    result = ExperimentResult(
+        exp_id="ablation_shrink",
+        title="Dynamic resizing IPC vs shrink-timer duration "
+              "(normalised by base; timer in memory latencies)",
+        headers=["program"] + [f"x{m:g}" for m in MULTIPLIERS],
+    )
+    ratios: dict[float, list[float]] = {m: [] for m in MULTIPLIERS}
+    for program in sweep.settings.programs():
+        base_ipc = sweep.base(program).ipc
+        row = [program]
+        for mult in MULTIPLIERS:
+            policy = MLPAwarePolicy(
+                max_level=config.max_level, memory_latency=mem_latency,
+                shrink_latency=max(1, int(mem_latency * mult)))
+            res = sweep.run(program, config, key_extra=("shrink", mult),
+                            policy=policy)
+            ratio = res.ipc / base_ipc
+            ratios[mult].append(ratio)
+            row.append(f"{ratio:.2f}")
+        result.rows.append(row)
+    gm_row = ["GM all"]
+    for mult in MULTIPLIERS:
+        gm = geometric_mean(ratios[mult])
+        gm_row.append(f"{gm:.2f}")
+        result.series[f"gm_x{mult:g}"] = gm
+    result.rows.append(gm_row)
+    result.notes.append(
+        "the paper's choice (x1 = one memory latency) should be at or "
+        "near the top of the GM row")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

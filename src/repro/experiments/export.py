@@ -1,0 +1,58 @@
+"""Export experiment results to CSV for external plotting.
+
+Every :class:`~repro.experiments.runner.ExperimentResult` renders to one
+CSV file (headers + rows, notes as ``#`` comment lines); a campaign's
+worth can be written in one call.  The files are plain enough for
+pandas, gnuplot or a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentResult
+
+
+def result_to_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write one experiment's table to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        for note in result.notes:
+            handle.write(f"# {note}\n")
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return path
+
+
+def series_to_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Write the machine-readable series to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def default(obj):
+        if isinstance(obj, dict):
+            return obj
+        return str(obj)
+
+    payload = {"exp_id": result.exp_id, "title": result.title,
+               "series": result.series}
+    path.write_text(json.dumps(payload, indent=2, default=default,
+                               sort_keys=True))
+    return path
+
+
+def export_results(results: list[ExperimentResult],
+                   directory: str | Path) -> list[Path]:
+    """Write CSV + JSON for each result under ``directory``."""
+    directory = Path(directory)
+    written = []
+    for result in results:
+        written.append(result_to_csv(result,
+                                     directory / f"{result.exp_id}.csv"))
+        written.append(series_to_json(result,
+                                      directory / f"{result.exp_id}.json"))
+    return written

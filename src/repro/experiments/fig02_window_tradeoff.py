@@ -1,0 +1,41 @@
+"""Figure 2 — IPC for varying instruction window resource levels.
+
+The paper's motivating tradeoff: libquantum (memory-intensive) gains
+steeply from a larger (pipelined) window, while gcc (compute-intensive)
+*loses* from the pipelined window's ILP penalty; the non-pipelined
+"ideal" line shows that the loss is entirely the pipelining, not the
+size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+
+PROGRAMS = ("libquantum", "gcc")
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    result = ExperimentResult(
+        exp_id="fig02",
+        title="IPC vs window resource level (bars: fixed, line: ideal)",
+        headers=["program", "fix L1", "fix L2", "fix L3",
+                 "ideal L1", "ideal L2", "ideal L3"],
+    )
+    for program in PROGRAMS:
+        base = sweep.fixed(program, 1)
+        fixed = [sweep.fixed(program, lvl).ipc / base.ipc for lvl in (1, 2, 3)]
+        ideal = [sweep.ideal(program, lvl).ipc / base.ipc for lvl in (1, 2, 3)]
+        result.rows.append([program] + [f"{v:.2f}" for v in fixed + ideal])
+        result.series[program] = {"fixed": fixed, "ideal": ideal}
+    result.notes.append(
+        "paper: libquantum rises steeply with level (bars ~= line); "
+        "gcc's bars fall below 1.0 at levels 2-3 while its ideal line "
+        "stays flat ~1.0")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

@@ -1,0 +1,50 @@
+"""Figure 9 — energy efficiency (1/EDP) normalised by the base.
+
+The dynamic resizing model pays extra window power but earns large
+speedups on memory-intensive programs (paper: +36% GM 1/EDP there,
+libquantum +423%), roughly breaks even on compute-intensive programs
+(paper: -8%), and wins overall (+8%).
+"""
+
+from __future__ import annotations
+
+from repro.energy import EnergyModel
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.stats import geometric_mean
+
+PAPER_GM = {"mem": 1.36, "comp": 0.92, "all": 1.08}
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    result = ExperimentResult(
+        exp_id="fig09",
+        title="1/EDP of dynamic resizing, normalised by base",
+        headers=["program", "1/EDP ratio"],
+    )
+    ratios: dict[str, float] = {}
+    for program in sweep.settings.programs():
+        base = sweep.base(program)
+        dyn = sweep.dynamic(program)
+        ratio = EnergyModel.inverse_edp_ratio(dyn, base)
+        ratios[program] = ratio
+        result.rows.append([program, f"{ratio:.2f}"])
+    for label, programs in (("GM mem", sweep.settings.memory_programs()),
+                            ("GM comp", sweep.settings.compute_programs()),
+                            ("GM all", sweep.settings.programs())):
+        if not programs:
+            continue
+        gm = geometric_mean(ratios[p] for p in programs)
+        result.rows.append([label, f"{gm:.2f}"])
+        result.series[f"gm_{label.split()[1]}"] = gm
+    result.series["per_program"] = ratios
+    result.notes.append(
+        f"paper GM 1/EDP ratios: mem {PAPER_GM['mem']:.2f}, "
+        f"comp {PAPER_GM['comp']:.2f}, all {PAPER_GM['all']:.2f}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

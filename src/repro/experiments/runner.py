@@ -1,0 +1,183 @@
+"""Shared machinery for the experiment harnesses.
+
+A :class:`Sweep` owns the trace and simulation cache for one evaluation
+campaign: experiments request ``(program, model)`` results and identical
+requests are simulated only once, so running the whole suite does not
+re-simulate the base processor a dozen times.
+
+Simulation scale is set by :class:`Settings`; the defaults are sized for
+a laptop-class Python run (the paper simulates 100M instructions per
+program after skipping 16G — a pure-Python cycle simulator substitutes
+smaller samples plus the checkpoint-style warming described in
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+
+from repro.config import (
+    ProcessorConfig,
+    base_config,
+    dynamic_config,
+    fixed_config,
+    ideal_config,
+    runahead_config,
+)
+from repro.core.policies import ResizingPolicy
+from repro.energy import EnergyModel
+from repro.pipeline import simulate
+from repro.stats import SimulationResult, geometric_mean
+from repro.workloads import (
+    generate_trace,
+    profile,
+    program_names,
+    MEMORY_INTENSIVE,
+    COMPUTE_INTENSIVE,
+    SELECTED_MEMORY,
+    SELECTED_COMPUTE,
+)
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Scale and scope of an evaluation campaign."""
+
+    #: simulate all 28 programs (True) or the paper's selected subset
+    all_programs: bool = True
+    warmup: int = 4_000
+    measure: int = 15_000
+    seed: int = 1
+
+    @property
+    def trace_ops(self) -> int:
+        return self.warmup + self.measure + 1_000
+
+    def programs(self) -> tuple[str, ...]:
+        if self.all_programs:
+            return program_names()
+        return SELECTED_MEMORY + SELECTED_COMPUTE
+
+    def memory_programs(self) -> tuple[str, ...]:
+        return tuple(p for p in self.programs() if p in MEMORY_INTENSIVE)
+
+    def compute_programs(self) -> tuple[str, ...]:
+        return tuple(p for p in self.programs() if p in COMPUTE_INTENSIVE)
+
+
+def quick_settings() -> Settings:
+    """Small-scale settings used by the pytest benchmarks."""
+    return Settings(all_programs=False, warmup=3_000, measure=8_000)
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output of one experiment."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: machine-readable series for tests/benchmarks to assert on
+    series: dict = field(default_factory=dict)
+
+    def as_text(self) -> str:
+        out = [f"== {self.exp_id}: {self.title} ==",
+               render_table(self.headers, self.rows)]
+        out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Monospace table rendering."""
+    table = [headers] + rows
+    widths = [max(len(str(row[i])) for row in table)
+              for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+class Sweep:
+    """Trace + simulation cache for one campaign."""
+
+    def __init__(self, settings: Settings | None = None) -> None:
+        self.settings = settings or Settings()
+        self._traces: dict[str, object] = {}
+        self._results: dict[tuple, SimulationResult] = {}
+        self.energy = EnergyModel()
+
+    def trace(self, program: str):
+        trace = self._traces.get(program)
+        if trace is None:
+            trace = generate_trace(profile(program),
+                                   n_ops=self.settings.trace_ops,
+                                   seed=self.settings.seed)
+            self._traces[program] = trace
+        return trace
+
+    # ------------------------------------------------------------------
+
+    def run(self, program: str, config: ProcessorConfig,
+            key_extra: object = None,
+            policy: ResizingPolicy | None = None) -> SimulationResult:
+        """Simulate (or fetch from cache) one program on one config."""
+        key = (program, config.model.value, config.level,
+               config.l2.size_bytes, config.l2.assoc,
+               config.transition_penalty, key_extra)
+        result = self._results.get(key)
+        if result is None:
+            result = simulate(config, self.trace(program),
+                              warmup=self.settings.warmup,
+                              measure=self.settings.measure,
+                              policy=policy)
+            self.energy.annotate(result, config)
+            self._results[key] = result
+        return result
+
+    # convenience wrappers -------------------------------------------
+
+    def base(self, program: str) -> SimulationResult:
+        return self.run(program, base_config())
+
+    def fixed(self, program: str, level: int) -> SimulationResult:
+        return self.run(program, fixed_config(level))
+
+    def ideal(self, program: str, level: int) -> SimulationResult:
+        return self.run(program, ideal_config(level))
+
+    def dynamic(self, program: str, max_level: int = 3) -> SimulationResult:
+        return self.run(program, dynamic_config(max_level))
+
+    def runahead(self, program: str) -> SimulationResult:
+        return self.run(program, runahead_config())
+
+    def speedup(self, program: str, result: SimulationResult) -> float:
+        return result.speedup_over(self.base(program))
+
+    def gm_speedups(self, programs, getter) -> float:
+        """Geometric-mean speedup over ``programs`` for ``getter(p)``."""
+        return geometric_mean(
+            self.speedup(p, getter(p)) for p in programs)
+
+
+def cli_settings(argv=None, description: str = "") -> Settings:
+    """Parse the standard experiment CLI flags into Settings."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--selected", action="store_true",
+                        help="only the paper's selected programs "
+                             "(default: all 28)")
+    parser.add_argument("--measure", type=int, default=15_000,
+                        help="measured micro-ops per run")
+    parser.add_argument("--warmup", type=int, default=4_000,
+                        help="warmup micro-ops per run")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    return Settings(all_programs=not args.selected, warmup=args.warmup,
+                    measure=args.measure, seed=args.seed)

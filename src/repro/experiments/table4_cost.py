@@ -1,0 +1,52 @@
+"""Table 4 — additional cost vs speedup.
+
+Area of the level-3 window provisioning over the base (paper: 1.6mm² at
+32nm = 6% of the 25mm² base core, 8% of a Sandy Bridge core, 3% of the
+chip with all four cores converted), the measured GM speedup of dynamic
+resizing, the ~3% speedup Pollack's law would predict for that area, and
+the +0.6% an equal-area L2 enlargement actually buys (Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.energy import AreaModel
+from repro.config import dynamic_config
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.experiments import fig10_enlarged_l2
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    area = AreaModel(dynamic_config(3)).report()
+    speedup = sweep.gm_speedups(sweep.settings.programs(), sweep.dynamic)
+    fig10 = fig10_enlarged_l2.run(sweep=sweep)
+    result = ExperimentResult(
+        exp_id="table4",
+        title="Additional cost vs speedup",
+        headers=["quantity", "value", "paper"],
+    )
+    paper = {"additional area": "1.6 mm^2", "vs. base core": "6%",
+             "vs. SB core": "8%", "vs. SB chip": "3%",
+             "speedup expected by Pollack's law": "3%"}
+    for name, value in area.rows():
+        result.rows.append([name, value, paper.get(name, "")])
+    result.rows.append(["achieved speedup (GM all)",
+                        f"{speedup - 1:.0%}", "21%"])
+    result.rows.append(["augmented L2 speedup (GM all)",
+                        f"{fig10.series['gm_l2'] - 1:.1%}", "1%"])
+    result.series["extra_mm2"] = area.extra_mm2
+    result.series["vs_base_core"] = area.vs_base_core
+    result.series["vs_sb_chip"] = area.vs_sb_chip
+    result.series["pollack"] = area.pollack_expected_speedup
+    result.series["speedup"] = speedup
+    result.series["l2_speedup"] = fig10.series["gm_l2"]
+    result.notes.append(
+        "the achieved speedup dwarfs both the Pollack's-law expectation "
+        "and an equal-silicon L2 enlargement")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

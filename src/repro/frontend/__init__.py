@@ -1,0 +1,12 @@
+"""Front-end substrate: branch prediction (gshare + BTB) and fetch.
+
+Table 1 of the paper: 16-bit-history 64K-entry-PHT gshare, 2K-set 4-way
+BTB, 10-cycle misprediction penalty.  Deeper window levels pay an extra
+recovery penalty on top (pipelined IQ issue delay and pipelined ROB
+register-field read), modelled by
+:meth:`repro.config.ResourceLevel.extra_branch_penalty`.
+"""
+
+from repro.frontend.branch import BranchPredictor, BranchUpdate, BTB
+
+__all__ = ["BranchPredictor", "BranchUpdate", "BTB"]

@@ -1,0 +1,48 @@
+"""A compact micro-op ISA for the trace-driven simulator.
+
+The simulator is trace driven: workload generators emit dynamic streams of
+:class:`~repro.isa.instructions.MicroOp` records that carry everything the
+timing model needs — operation class, register operands, memory address and
+branch outcome.  There is no functional emulation; correctness of data
+values is irrelevant to the timing questions the paper asks.
+"""
+
+from repro.isa.instructions import (
+    OpClass,
+    MicroOp,
+    EXEC_LATENCY,
+    is_mem_op,
+    is_branch_op,
+)
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_LOGICAL_REGS,
+    INT_REG_BASE,
+    FP_REG_BASE,
+    REG_INVALID,
+    int_reg,
+    fp_reg,
+    is_int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+__all__ = [
+    "OpClass",
+    "MicroOp",
+    "EXEC_LATENCY",
+    "is_mem_op",
+    "is_branch_op",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_LOGICAL_REGS",
+    "INT_REG_BASE",
+    "FP_REG_BASE",
+    "REG_INVALID",
+    "int_reg",
+    "fp_reg",
+    "is_int_reg",
+    "is_fp_reg",
+    "reg_name",
+]

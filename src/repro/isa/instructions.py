@@ -1,0 +1,119 @@
+"""Micro-op record and operation classes.
+
+:class:`MicroOp` is deliberately a ``__slots__`` class rather than a
+dataclass: tens of millions of these are created during a sweep and the
+slim layout matters.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.isa.registers import REG_INVALID, reg_name
+
+
+class OpClass(IntEnum):
+    """Operation classes recognised by the execute stage.
+
+    Each class maps onto one of the function unit pools of Table 1 of the
+    paper (4 iALU, 2 iMULT/DIV, 2 Ld/St ports, 4 fpALU, 2 fpMULT/DIV/SQRT).
+    """
+
+    NOP = 0
+    IALU = 1
+    IMUL = 2
+    IDIV = 3
+    FPALU = 4
+    FPMUL = 5
+    FPDIV = 6
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9
+
+
+#: Execution latency in cycles of each op class, excluding memory time.
+#: Loads take ``EXEC_LATENCY[LOAD]`` for address generation and then pay
+#: the cache-hierarchy latency on top.
+EXEC_LATENCY: dict[OpClass, int] = {
+    OpClass.NOP: 1,
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.FPALU: 2,
+    OpClass.FPMUL: 4,
+    OpClass.FPDIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+_MEM_OPS = frozenset((OpClass.LOAD, OpClass.STORE))
+
+
+def is_mem_op(op: OpClass) -> bool:
+    """True for loads and stores (they occupy LSQ entries and mem ports)."""
+    return op in _MEM_OPS
+
+
+def is_branch_op(op: OpClass) -> bool:
+    """True for control-flow micro-ops."""
+    return op is OpClass.BRANCH
+
+
+class MicroOp:
+    """One dynamic micro-op of a workload trace.
+
+    Attributes:
+        pc: instruction address (used by the branch predictor, BTB, I-cache
+            and the stride prefetcher's PC-indexed table).
+        op: the :class:`OpClass`.
+        dst: flat logical destination register, or ``REG_INVALID``.
+        srcs: tuple of flat logical source registers (may be empty).
+        addr: effective address for loads/stores, else 0.
+        size: access size in bytes for loads/stores, else 0.
+        taken: actual branch outcome (branches only).
+        target: actual branch target (branches only; fall-through target
+            for not-taken branches).
+    """
+
+    __slots__ = ("pc", "op", "dst", "srcs", "addr", "size", "taken", "target")
+
+    def __init__(self, pc: int, op: OpClass, dst: int = REG_INVALID,
+                 srcs: tuple[int, ...] = (), addr: int = 0, size: int = 0,
+                 taken: bool = False, target: int = 0) -> None:
+        self.pc = pc
+        self.op = op
+        self.dst = dst
+        self.srcs = srcs
+        self.addr = addr
+        self.size = size
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in _MEM_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    def __repr__(self) -> str:
+        parts = [f"pc={self.pc:#x}", self.op.name.lower()]
+        if self.dst != REG_INVALID:
+            parts.append(f"dst={reg_name(self.dst)}")
+        if self.srcs:
+            parts.append("srcs=" + ",".join(reg_name(s) for s in self.srcs))
+        if self.is_mem:
+            parts.append(f"addr={self.addr:#x}/{self.size}")
+        if self.is_branch:
+            parts.append(f"{'T' if self.taken else 'N'}->{self.target:#x}")
+        return f"<MicroOp {' '.join(parts)}>"

@@ -1,0 +1,54 @@
+"""Logical register file description.
+
+The simulated ISA has 32 integer and 32 floating-point logical registers,
+mapped onto a single flat logical register index space: integer registers
+occupy indices ``0..31`` and floating-point registers ``32..63``.  Renaming
+(the P6-style map table of the pipeline) operates on this flat space.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+INT_REG_BASE = 0
+FP_REG_BASE = NUM_INT_REGS
+
+#: Sentinel for "no register" (e.g. the destination of a store or branch).
+REG_INVALID = -1
+
+
+def int_reg(n: int) -> int:
+    """Flat index of integer register ``n``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register {n} out of range")
+    return INT_REG_BASE + n
+
+
+def fp_reg(n: int) -> int:
+    """Flat index of floating-point register ``n``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register {n} out of range")
+    return FP_REG_BASE + n
+
+
+def is_int_reg(reg: int) -> bool:
+    """True if ``reg`` is a valid integer register index."""
+    return INT_REG_BASE <= reg < INT_REG_BASE + NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` is a valid floating-point register index."""
+    return FP_REG_BASE <= reg < FP_REG_BASE + NUM_FP_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name, e.g. ``r5`` or ``f12``."""
+    if reg == REG_INVALID:
+        return "-"
+    if is_int_reg(reg):
+        return f"r{reg - INT_REG_BASE}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_REG_BASE}"
+    raise ValueError(f"invalid register index {reg}")

@@ -1,0 +1,42 @@
+"""Memory hierarchy substrate.
+
+Implements the cache/memory system of Table 1 of the paper:
+
+* non-blocking set-associative L1 I/D caches and a unified L2 (the LLC),
+  each with MSHRs that merge requests to in-flight lines,
+* a main-memory channel with a 300-cycle minimum latency and 8 bytes/cycle
+  of bandwidth (so overlapped misses — MLP — are served in parallel but
+  serialise on the channel),
+* a Baer–Chen stride prefetcher with a 4K-entry 4-way PC-indexed table
+  that prefetches 16 lines into the L2 on a miss.
+
+The hierarchy is a *timing* model: an access returns the cycle at which
+its data arrives; there is no data storage.
+"""
+
+from repro.memory.cache import Cache, CacheLine
+from repro.memory.mshr import MSHRFile
+from repro.memory.dram import MainMemory
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.prefetchers import (
+    NextLinePrefetcher,
+    NoPrefetcher,
+    StreamPrefetcher,
+    make_prefetcher,
+)
+from repro.memory.hierarchy import MemoryHierarchy, AccessPath, AccessResult
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "MSHRFile",
+    "MainMemory",
+    "StridePrefetcher",
+    "StreamPrefetcher",
+    "NextLinePrefetcher",
+    "NoPrefetcher",
+    "make_prefetcher",
+    "MemoryHierarchy",
+    "AccessPath",
+    "AccessResult",
+]

@@ -1,0 +1,120 @@
+"""Set-associative cache timing model with LRU replacement.
+
+A :class:`Cache` stores :class:`CacheLine` bookkeeping records, not data.
+Lines installed by an in-flight fill carry ``ready_at``: a subsequent
+access before the fill arrives observes the remaining fill time rather
+than a fresh miss (this is how MSHR merges become visible to the core).
+
+The L2 additionally tags every line with *who brought it* (correct path,
+wrong path, or prefetch) and whether a correct-path access ever *touched*
+it — the raw material of Figure 11 of the paper (cache pollution study).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.config import CacheConfig
+
+
+class CacheLine:
+    """Replacement/bookkeeping state of one resident cache line."""
+
+    __slots__ = ("line_addr", "ready_at", "brought_by", "touched", "dirty")
+
+    def __init__(self, line_addr: int, ready_at: int, brought_by: int = 0) -> None:
+        self.line_addr = line_addr
+        self.ready_at = ready_at
+        self.brought_by = brought_by
+        self.touched = False
+        self.dirty = False
+
+
+class Cache:
+    """One level of cache: geometry from a :class:`CacheConfig`.
+
+    The cache is purely administrative; the surrounding
+    :class:`~repro.memory.hierarchy.MemoryHierarchy` sequences lookups,
+    fills and the MSHR file.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache",
+                 evict_hook: Callable[[CacheLine], None] | None = None) -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.line_bytes = config.line_bytes
+        self._set_mask = self.num_sets - 1
+        self._sets: list[OrderedDict[int, CacheLine]] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self._evict_hook = evict_hook
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address containing ``addr``."""
+        return addr - (addr % self.line_bytes)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) & self._set_mask
+
+    def lookup(self, addr: int, update_lru: bool = True) -> CacheLine | None:
+        """Find the resident line containing ``addr``; None on miss.
+
+        Does not count hit/miss statistics — the hierarchy does, because a
+        'hit' on a still-filling line is accounted as part of the original
+        miss.
+        """
+        laddr = self.line_addr(addr)
+        cset = self._sets[self._set_index(laddr)]
+        line = cset.get(laddr)
+        if line is not None and update_lru:
+            cset.move_to_end(laddr)
+        return line
+
+    def install(self, addr: int, ready_at: int, brought_by: int = 0) -> CacheLine:
+        """Install the line containing ``addr``, evicting LRU if needed.
+
+        Returns the installed line.  If the line is already resident, its
+        LRU position is refreshed and the resident record returned
+        unchanged (a fill never downgrades an existing line).
+        """
+        laddr = self.line_addr(addr)
+        cset = self._sets[self._set_index(laddr)]
+        existing = cset.get(laddr)
+        if existing is not None:
+            cset.move_to_end(laddr)
+            return existing
+        if len(cset) >= self.config.assoc:
+            __, victim = cset.popitem(last=False)
+            self.evictions += 1
+            if self._evict_hook is not None:
+                self._evict_hook(victim)
+        line = CacheLine(laddr, ready_at, brought_by)
+        cset[laddr] = line
+        return line
+
+    def contains(self, addr: int) -> bool:
+        """True if the line containing ``addr`` is resident (ignores LRU)."""
+        return self.lookup(addr, update_lru=False) is not None
+
+    def resident_lines(self):
+        """Iterate over all resident lines (for end-of-run accounting)."""
+        for cset in self._sets:
+            yield from cset.values()
+
+    def invalidate_all(self) -> None:
+        """Drop all lines without firing the eviction hook."""
+        for cset in self._sets:
+            cset.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Demand miss rate observed so far (0.0 if never accessed)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,69 @@
+"""Miss status holding registers.
+
+An MSHR file tracks the cache lines a non-blocking cache currently has in
+flight.  A second miss to an in-flight line *merges*: it completes when the
+original fill arrives and consumes no new entry.  When all entries are
+busy, a new miss must wait for the earliest release — the wait is folded
+into the returned completion time, which keeps the model deterministic
+without a retry loop.
+"""
+
+from __future__ import annotations
+
+
+class MSHRFile:
+    """Bookkeeping for in-flight misses of one cache."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.entries = entries
+        #: line address -> cycle at which the fill completes
+        self._pending: dict[int, int] = {}
+        self.merges = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def lookup(self, line_addr: int) -> int | None:
+        """Completion cycle of an in-flight fill for ``line_addr``, if any."""
+        return self._pending.get(line_addr)
+
+    def merge(self, line_addr: int) -> int:
+        """Record a secondary miss folded into an existing entry."""
+        self.merges += 1
+        return self._pending[line_addr]
+
+    def occupancy(self, cycle: int) -> int:
+        """Number of entries still in flight at ``cycle`` (reaps expired)."""
+        self._reap(cycle)
+        return len(self._pending)
+
+    def earliest_release(self) -> int:
+        """Cycle at which the next entry frees (file must be non-empty)."""
+        return min(self._pending.values())
+
+    def allocate_delay(self, cycle: int) -> int:
+        """Extra cycles an allocation at ``cycle`` must wait for a free entry."""
+        self._reap(cycle)
+        if len(self._pending) < self.entries:
+            return 0
+        self.full_stalls += 1
+        return max(0, self.earliest_release() - cycle)
+
+    def allocate(self, line_addr: int, completion: int) -> None:
+        """Install an in-flight fill completing at ``completion``."""
+        self.allocations += 1
+        self._pending[line_addr] = completion
+
+    def _reap(self, cycle: int) -> None:
+        if not self._pending:
+            return
+        expired = [a for a, c in self._pending.items() if c <= cycle]
+        for addr in expired:
+            del self._pending[addr]
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self.merges = 0
+        self.allocations = 0
+        self.full_stalls = 0

@@ -1,0 +1,145 @@
+"""Multi-core simulation with a shared L2 and memory channel.
+
+The paper evaluates a single core but prices its Table 4 area assuming
+the scheme is deployed on **all four** Sandy Bridge cores.  This module
+makes that configuration measurable: N cores (each with private L1s and
+its own resizing controller) share one L2, one L2 MSHR file and one
+main-memory channel, and run in cycle lockstep.
+
+Per-core resizing stays private by construction — a core's controller
+only sees the L2 misses of *its own* demand accesses, since each core
+talks to the shared L2 through its own :class:`MemoryHierarchy` facade
+(the listener chain is per-facade).
+
+Example::
+
+    from repro.multicore import MultiCoreSystem
+    system = MultiCoreSystem([dynamic_config(3)] * 4, traces)
+    system.run(until_committed_each=10_000)
+    for result in system.results():
+        print(result.summary_line())
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+from repro.memory import Cache, MSHRFile, MainMemory, MemoryHierarchy
+from repro.memory.dram_banked import BankedMemory
+from repro.pipeline import Processor
+from repro.stats import SimulationResult
+from repro.workloads import Trace
+
+
+class MultiCoreSystem:
+    """N cores in cycle lockstep over shared L2 + DRAM."""
+
+    def __init__(self, configs: list[ProcessorConfig],
+                 traces: list[Trace]) -> None:
+        if not configs or len(configs) != len(traces):
+            raise ValueError("need one config per trace, at least one core")
+        ref = configs[0]
+        for other in configs[1:]:
+            if other.l2 != ref.l2 or other.memory != ref.memory:
+                raise ValueError(
+                    "all cores must agree on the shared L2/memory config")
+        self.shared_l2 = Cache(ref.l2, name="L2(shared)")
+        self.shared_l2_mshr = MSHRFile(ref.l2.mshr_entries)
+        if ref.memory.organisation == "banked":
+            self.shared_memory = BankedMemory(ref.memory,
+                                              line_bytes=ref.l2.line_bytes)
+        else:
+            self.shared_memory = MainMemory(ref.memory,
+                                            line_bytes=ref.l2.line_bytes)
+        self.cores: list[Processor] = []
+        for config, trace in zip(configs, traces):
+            hierarchy = MemoryHierarchy(
+                config, shared_l2=self.shared_l2,
+                shared_l2_mshr=self.shared_l2_mshr,
+                shared_memory=self.shared_memory)
+            self.cores.append(Processor(config, trace,
+                                        hierarchy=hierarchy))
+
+    # ------------------------------------------------------------------
+
+    def prewarm(self) -> None:
+        """Prewarm every core (shared L2 budget is split evenly)."""
+        fraction = 0.625 / len(self.cores)
+        for core in self.cores:
+            core.prewarm(budget_fraction=fraction)
+
+    def reset_measurement(self) -> None:
+        for core in self.cores:
+            core.reset_measurement()
+
+    def run(self, until_committed_each: int,
+            max_cycles: int | None = None) -> None:
+        """Advance all cores in lockstep until each has committed
+        ``until_committed_each`` micro-ops (or drained its trace)."""
+        if max_cycles is None:
+            max_cycles = (self.cores[0].cycle
+                          + (until_committed_each + 1000) * 800)
+        active = set(range(len(self.cores)))
+        while active:
+            deltas = []
+            finished = []
+            for idx in active:
+                core = self.cores[idx]
+                if core.committed_total >= until_committed_each:
+                    finished.append(idx)
+                    continue
+                if core.cycle > max_cycles:
+                    raise RuntimeError(
+                        f"core {idx} exceeded {max_cycles} cycles")
+                delta = core.step_cycle()
+                if delta == 0:
+                    finished.append(idx)
+                else:
+                    deltas.append((idx, delta))
+            active.difference_update(finished)
+            if not deltas:
+                continue
+            # lockstep: everyone advances by the smallest suggested delta
+            step = min(delta for __, delta in deltas)
+            for idx, __ in deltas:
+                self.cores[idx].advance(step)
+
+    # ------------------------------------------------------------------
+
+    def results(self) -> list[SimulationResult]:
+        return [core.result() for core in self.cores]
+
+    def aggregate_ipc(self) -> float:
+        """Total committed micro-ops over the longest core's cycles.
+
+        Pessimistic when core runtimes differ a lot (finished cores stop
+        contributing); :meth:`throughput` is the usual fixed-work chip
+        metric."""
+        cycles = max(core.stats.cycles for core in self.cores)
+        if not cycles:
+            return 0.0
+        committed = sum(core.stats.committed_uops for core in self.cores)
+        return committed / cycles
+
+    def throughput(self) -> float:
+        """Sum of per-core IPCs (each over its own cycles) — the
+        standard fixed-work multi-programming throughput metric."""
+        return sum(core.stats.ipc for core in self.cores)
+
+    def channel_utilisation(self) -> float:
+        """Fraction of elapsed cycles the shared channel was transferring."""
+        cycles = max(core.stats.cycles for core in self.cores)
+        if not cycles:
+            return 0.0
+        return min(1.0, self.shared_memory.busy_cycles / cycles)
+
+
+def simulate_multicore(configs: list[ProcessorConfig], traces: list[Trace],
+                       warmup: int = 3_000,
+                       measure: int = 8_000) -> MultiCoreSystem:
+    """Prewarm, warm up and measure a multi-core system; returns it."""
+    system = MultiCoreSystem(configs, traces)
+    system.prewarm()
+    system.run(until_committed_each=warmup)
+    system.reset_measurement()
+    system.run(until_committed_each=warmup + measure)
+    return system

@@ -1,0 +1,960 @@
+"""Cycle-level out-of-order processor model.
+
+This is the SimpleScalar-replacement substrate of the reproduction: a
+4-wide P6-style superscalar core with
+
+* fetch from a dynamic trace, gshare/BTB prediction, taken-branch fetch
+  bubbles, I-cache timing and synthesized wrong-path fetch after a
+  misprediction;
+* rename through a map table onto ROB entries (P6: each ROB entry holds
+  the physical register);
+* dispatch into the resizable ROB / IQ / LSQ window resources;
+* oldest-first wakeup/select issue with a *pipeline-depth-dependent*
+  wakeup delay: at IQ depth ``d``, dependent instructions cannot issue
+  back-to-back — the consumer sees the broadcast ``d - 1`` cycles late
+  (the paper's central ILP cost of a large window);
+* function-unit contention per Table 1, load/store queue with
+  store→load forwarding and conservative memory disambiguation;
+* non-blocking memory access through the cache hierarchy (MLP!);
+* in-order commit, branch misprediction recovery with a level-dependent
+  penalty, and the level-transition machinery of the resizing scheme.
+
+The main loop is cycle-driven but *fast-forwards* over provably idle
+cycles (long memory stalls), which keeps memory-bound simulations fast
+without changing observable timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.config import ModelKind, ProcessorConfig
+from repro.core.policies import ResizingPolicy, StaticPolicy
+from repro.core.resizing import MLPAwarePolicy
+from repro.isa import EXEC_LATENCY, MicroOp, OpClass, REG_INVALID
+from repro.memory import AccessPath, MemoryHierarchy
+from repro.frontend import BranchPredictor
+from repro.pipeline.resources import WindowSet
+from repro.stats import SimStats, SimulationResult, mlp_from_intervals
+
+if TYPE_CHECKING:
+    from repro.workloads.trace import Trace
+
+#: fetch-to-dispatch latency in cycles (decode/rename front-end depth).
+DECODE_LATENCY = 3
+#: fetch/decode buffer capacity in micro-ops.
+FETCH_BUFFER = 24
+
+# function-unit pools
+_FU_POOL = {
+    OpClass.NOP: "int_alu",
+    OpClass.IALU: "int_alu",
+    OpClass.BRANCH: "int_alu",
+    OpClass.IMUL: "int_mul_div",
+    OpClass.IDIV: "int_mul_div",
+    OpClass.FPALU: "fp_alu",
+    OpClass.FPMUL: "fp_mul_div",
+    OpClass.FPDIV: "fp_mul_div",
+    OpClass.LOAD: "mem_ports",
+    OpClass.STORE: "mem_ports",
+}
+
+# event kinds
+_EV_COMPLETE = 0
+_EV_WAKE = 1
+_EV_RA_EXIT = 2
+
+
+class InFlightOp:
+    """Pipeline state of one in-flight micro-op."""
+
+    __slots__ = (
+        "seq", "uop", "trace_idx", "wrong_path",
+        "pending_srcs", "consumers", "ready_cycle",
+        "issued", "complete", "squashed", "in_iq",
+        "issue_cycle", "complete_cycle", "woken_at",
+        "branch_token", "mispredicted", "l2_miss",
+        "inv", "inherit_inv", "addr_known_cycle", "forwarded",
+        "fwd_waiters", "fetch_cycle", "dispatch_cycle",
+    )
+
+    def __init__(self, seq: int, uop: MicroOp, trace_idx: int,
+                 wrong_path: bool) -> None:
+        self.seq = seq
+        self.uop = uop
+        self.trace_idx = trace_idx
+        self.wrong_path = wrong_path
+        self.pending_srcs = 0
+        self.consumers: list[InFlightOp] | None = None
+        self.ready_cycle = 0
+        self.issued = False
+        self.complete = False
+        self.squashed = False
+        self.in_iq = False
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.woken_at = -1        # -1: not yet known
+        self.branch_token = None
+        self.mispredicted = False
+        self.l2_miss = False
+        self.inv = False          # runahead INV result
+        self.inherit_inv = False  # a source was INV
+        self.addr_known_cycle = -1
+        self.forwarded = False
+        self.fwd_waiters: list[InFlightOp] | None = None
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+
+    def __repr__(self) -> str:
+        flags = "".join(c for c, f in (
+            ("W", self.wrong_path), ("I", self.issued), ("C", self.complete),
+            ("X", self.squashed), ("V", self.inv)) if f)
+        return f"<op#{self.seq} {self.uop.op.name} {flags}>"
+
+
+class Processor:
+    """One simulated processor instance running one trace."""
+
+    def __init__(self, config: ProcessorConfig, trace: "Trace",
+                 policy: ResizingPolicy | None = None,
+                 hierarchy: MemoryHierarchy | None = None) -> None:
+        """``hierarchy`` may be injected to share L2/DRAM components
+        between cores (see :mod:`repro.multicore`)."""
+        self.config = config
+        self.trace = trace
+        self.stats = SimStats()
+        self.hierarchy = hierarchy or MemoryHierarchy(config)
+        self.predictor = BranchPredictor(config.branch)
+        self.ideal = config.model is ModelKind.IDEAL
+
+        if policy is not None:
+            self.policy = policy
+        elif config.model is ModelKind.DYNAMIC:
+            self.policy = MLPAwarePolicy(
+                max_level=config.level,
+                memory_latency=config.memory.min_latency)
+        else:
+            self.policy = StaticPolicy(config.level)
+        self.level = self.policy.level
+        # config.level is the fixed level for FIXED/IDEAL and the maximum
+        # (= physically provisioned) level for DYNAMIC, so it bounds the
+        # physical resources in every model.
+        self.window = WindowSet(config.levels, self.level,
+                                max_level=max(config.level, self.level))
+        self._update_level_params()
+
+        self.hierarchy.add_l2_miss_listener(self._on_l2_miss)
+
+        # timing state
+        self.cycle = 0
+        self.committed_total = 0
+        self._seq = 0
+        self._events: list[tuple[int, int, int, object]] = []
+        self._event_seq = 0
+
+        # fetch state
+        self._trace_idx = 0
+        self._wrong_mode = False
+        self._wrong_branch: InFlightOp | None = None
+        self._wrong_base_pc = 0
+        self._wrong_k = 0
+        self._fetch_stall_until = 0
+        self._last_fetch_line = -1
+        self._decode_q: deque[tuple[int, InFlightOp]] = deque()
+
+        # backend state
+        self._map: dict[int, InFlightOp] = {}
+        self.rob: deque[InFlightOp] = deque()
+        self._ready: list[tuple[int, InFlightOp]] = []
+        #: word address -> youngest in-flight store to that word, kept
+        #: from dispatch to commit (perfect memory disambiguation, as in
+        #: the paper's SimpleScalar substrate: a load only orders against
+        #: older stores to the *same* address, never against unrelated
+        #: stores with unresolved addresses).
+        self._pending_stores: dict[int, InFlightOp] = {}
+        self._fu_cycle = -1
+        self._fu_used: dict[str, int] = {}
+        self._fu_limits = {
+            "int_alu": config.fu.int_alu,
+            "int_mul_div": config.fu.int_mul_div,
+            "mem_ports": config.fu.mem_ports,
+            "fp_alu": config.fu.fp_alu,
+            "fp_mul_div": config.fu.fp_mul_div,
+        }
+
+        # resizing state
+        self._alloc_stall_until = 0
+        self._stop_alloc = False
+        self._last_stall_reason: str | None = None
+
+        #: optional PipelineTracer recording per-op lifecycles
+        self.tracer = None
+        #: fast-forward over provably idle cycles (disable to validate
+        #: that the optimisation never changes observable timing)
+        self.fast_forward = True
+        # runahead engine (installed for the RUNAHEAD model)
+        self.runahead = None
+        if config.model is ModelKind.RUNAHEAD:
+            from repro.runahead import RunaheadEngine
+            self.runahead = RunaheadEngine(self)
+
+    # ------------------------------------------------------------------
+    # level handling
+
+    def _update_level_params(self) -> None:
+        cfg = self.config.level_config(self.level)
+        if self.ideal:
+            self.extra_wakeup_delay = 0
+            self.extra_branch_penalty = 0
+        else:
+            self.extra_wakeup_delay = cfg.extra_wakeup_delay
+            self.extra_branch_penalty = cfg.extra_branch_penalty
+
+    def _apply_level(self, new_level: int) -> None:
+        if new_level > self.level:
+            self.stats.enlarge_transitions += 1
+        else:
+            self.stats.shrink_transitions += 1
+        self.stats.level_transitions.append((self.cycle, new_level))
+        self.level = new_level
+        self.window.resize_to(new_level)
+        self._update_level_params()
+        self._alloc_stall_until = max(
+            self._alloc_stall_until,
+            self.cycle + self.config.transition_penalty)
+
+    def _on_l2_miss(self, detect_cycle: int) -> None:
+        self.policy.on_l2_miss(detect_cycle)
+        self.stats.l2_miss_cycles.append(detect_cycle)
+
+    # ------------------------------------------------------------------
+    # event machinery
+
+    def _schedule(self, cycle: int, kind: int, payload: object) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (cycle, self._event_seq, kind, payload))
+
+    def _process_events(self) -> int:
+        processed = 0
+        events = self._events
+        while events and events[0][0] <= self.cycle:
+            __, ___, kind, payload = heapq.heappop(events)
+            processed += 1
+            if kind == _EV_COMPLETE:
+                self._complete_op(payload)
+            elif kind == _EV_WAKE:
+                self._wake_consumers(payload)
+            elif kind == _EV_RA_EXIT:
+                self.runahead.exit_runahead(self.cycle)
+        return processed
+
+    def _complete_op(self, op: InFlightOp) -> None:
+        if op.squashed or op.complete:
+            return
+        op.complete = True
+        op.complete_cycle = self.cycle
+        if op.uop.is_branch and op.branch_token is not None:
+            self._resolve_branch(op)
+        # A pipelined wakeup/select loop of depth d forbids back-to-back
+        # dependent issue: the consumer cannot issue before
+        # producer_issue + d.  For producers whose execution latency is
+        # at least d the broadcast has already caught up, so only
+        # short-latency producers (the ILP-critical IALU chains) pay.
+        if op.uop.is_store:
+            self._store_executed(op)
+        latency = max(1, self.cycle - op.issue_cycle)
+        delay = max(0, self.extra_wakeup_delay + 1 - latency)
+        op.woken_at = self.cycle + delay
+        self.stats.activity.iq_wakeups += 1
+        if delay == 0:
+            self._wake_consumers(op)
+        else:
+            self._schedule(op.woken_at, _EV_WAKE, op)
+
+    def _wake_consumers(self, op: InFlightOp) -> None:
+        consumers = op.consumers
+        if not consumers:
+            return
+        op.consumers = None
+        now = self.cycle
+        for consumer in consumers:
+            if consumer.squashed or consumer.issued:
+                continue
+            if op.inv:
+                consumer.inherit_inv = True
+            consumer.pending_srcs -= 1
+            if consumer.pending_srcs == 0:
+                consumer.ready_cycle = now
+                heapq.heappush(self._ready, (consumer.seq, consumer))
+
+    # ------------------------------------------------------------------
+    # branch resolution
+
+    def _resolve_branch(self, op: InFlightOp) -> None:
+        uop = op.uop
+        self.predictor.resolve(op.branch_token, uop.taken, uop.target)
+        if not op.mispredicted:
+            return
+        self._squash_after(op.seq)
+        if self._wrong_branch is op:
+            self._wrong_mode = False
+            self._wrong_branch = None
+        penalty = (self.config.branch.mispredict_penalty
+                   + self.extra_branch_penalty)
+        self._fetch_stall_until = max(self._fetch_stall_until,
+                                      self.cycle + penalty)
+        self._last_fetch_line = -1
+
+    def _squash_after(self, after_seq: int) -> None:
+        """Remove every op younger than ``after_seq`` from the machine."""
+        rob = self.rob
+        window = self.window
+        while rob and rob[-1].seq > after_seq:
+            op = rob.pop()
+            op.squashed = True
+            window.rob.release()
+            if op.in_iq and not op.issued:
+                window.iq.release()
+            if op.uop.is_mem:
+                window.lsq.release()
+            self.stats.squashed_uops += 1
+        for __, op in self._decode_q:
+            op.squashed = True
+            self.stats.squashed_uops += 1
+        self._decode_q.clear()
+        # Rebuild the map table and the pending-store table from the
+        # surviving ROB contents.
+        self._map.clear()
+        self._pending_stores.clear()
+        for op in rob:
+            dst = op.uop.dst
+            if dst != REG_INVALID:
+                self._map[dst] = op
+            if op.uop.is_store:
+                self._pending_stores[op.uop.addr & ~7] = op
+
+    # ------------------------------------------------------------------
+    # commit
+
+    def _commit_stage(self) -> int:
+        committed = 0
+        rob = self.rob
+        width = self.config.width
+        engine = self.runahead
+        in_runahead = engine is not None and engine.active
+        while rob and committed < width:
+            op = rob[0]
+            if in_runahead:
+                if not engine.can_pseudo_retire(op):
+                    break
+                rob.popleft()
+                engine.pseudo_retire(op, self.cycle)
+                self.window.rob.release()
+                if op.uop.is_mem:
+                    self.window.lsq.release()
+                committed += 1
+                continue
+            if not op.complete:
+                if (engine is not None and op.uop.is_load and op.l2_miss
+                        and op.issued):
+                    if engine.consider_entry(op, self.cycle):
+                        in_runahead = True
+                        continue
+                break
+            rob.popleft()
+            self.window.rob.release()
+            if op.uop.is_mem:
+                self.window.lsq.release()
+            self._commit_op(op)
+            committed += 1
+        if committed < width:
+            reason = self._classify_commit_block()
+            self.stats.note_stall_slots(reason, width - committed)
+            self._last_stall_reason = reason
+        else:
+            self._last_stall_reason = None
+        return committed
+
+    def _classify_commit_block(self) -> str:
+        """Why the ROB head could not commit this cycle (CPI stack)."""
+        if not self.rob:
+            return "frontend"
+        head = self.rob[0]
+        uop = head.uop
+        if head.issued:
+            if uop.is_load:
+                if head.l2_miss:
+                    return "mem_dram"
+                if head.forwarded:
+                    return "mem_forward"
+                return "mem_cache"
+            return "exec"
+        if head.pending_srcs > 0:
+            return "deps"
+        if head.ready_cycle >= self.cycle:
+            # woke up this very cycle: the wait was the dependence chain
+            # (commit runs before issue within a cycle)
+            return "deps"
+        return "issue"
+
+    def _commit_op(self, op: InFlightOp) -> None:
+        uop = op.uop
+        self.committed_total += 1
+        if self.tracer is not None:
+            self.tracer.on_commit(op, self.cycle)
+        stats = self.stats
+        stats.committed_uops += 1
+        if uop.is_load:
+            stats.committed_loads += 1
+        elif uop.is_store:
+            stats.committed_stores += 1
+            word = uop.addr & ~7
+            if self._pending_stores.get(word) is op:
+                del self._pending_stores[word]
+            self.hierarchy.store(uop.addr, self.cycle, AccessPath.CORRECT)
+        elif uop.is_branch:
+            stats.committed_branches += 1
+            if op.mispredicted:
+                stats.committed_mispredicts += 1
+                stats.note_mispredict_commit()
+        stats.activity.rob_reads += 1
+
+    # ------------------------------------------------------------------
+    # issue
+
+    def _fu_available(self, pool: str) -> bool:
+        if self._fu_cycle != self.cycle:
+            self._fu_cycle = self.cycle
+            self._fu_used = {}
+        return self._fu_used.get(pool, 0) < self._fu_limits[pool]
+
+    def _fu_take(self, pool: str) -> None:
+        self._fu_used[pool] = self._fu_used.get(pool, 0) + 1
+
+    def _issue_stage(self) -> int:
+        issued = 0
+        budget = self.config.width
+        ready = self._ready
+        deferred: list[tuple[int, InFlightOp]] = []
+        scans = 0
+        now = self.cycle
+        while ready and issued < budget and scans < 32:
+            scans += 1
+            seq, op = heapq.heappop(ready)
+            if op.squashed or op.issued:
+                continue
+            if op.ready_cycle > now:
+                deferred.append((seq, op))
+                continue
+            pool = _FU_POOL[op.uop.op]
+            if not self._fu_available(pool):
+                deferred.append((seq, op))
+                continue
+            self._fu_take(pool)
+            self._issue_op(op)
+            issued += 1
+        for item in deferred:
+            heapq.heappush(ready, item)
+        return issued
+
+    def _issue_op(self, op: InFlightOp) -> None:
+        now = self.cycle
+        op.issued = True
+        op.issue_cycle = now
+        if op.in_iq:
+            self.window.iq.release()
+            op.in_iq = False
+        stats = self.stats
+        stats.issued_uops += 1
+        stats.activity.iq_issues += 1
+        stats.activity.fu_ops += 1
+        if op.inherit_inv:
+            op.inv = True
+        uop = op.uop
+        if uop.is_load:
+            self._issue_load(op)
+        elif uop.is_store:
+            self._issue_store(op)
+        else:
+            latency = EXEC_LATENCY[uop.op]
+            self._schedule(now + latency, _EV_COMPLETE, op)
+
+    # ----- loads / stores --------------------------------------------
+
+    def _issue_load(self, op: InFlightOp) -> None:
+        addr_ready = self.cycle + EXEC_LATENCY[OpClass.LOAD]
+        op.addr_known_cycle = addr_ready
+        self.stats.activity.lsq_searches += 1
+        if op.inv:
+            # Runahead INV address: produce INV without touching memory.
+            self._schedule(addr_ready + 1, _EV_COMPLETE, op)
+            return
+        word = op.uop.addr & ~7
+        store = self._pending_stores.get(word)
+        if store is not None and not store.squashed and store.seq < op.seq:
+            op.forwarded = True
+            if self.runahead is not None and store.inv:
+                op.inv = True
+            if store.complete:
+                self._schedule(max(addr_ready, store.complete_cycle) + 1,
+                               _EV_COMPLETE, op)
+            else:
+                # Forward once the producing store has executed.
+                if store.fwd_waiters is None:
+                    store.fwd_waiters = [op]
+                else:
+                    store.fwd_waiters.append(op)
+            return
+        if (self.runahead is not None and self.runahead.active
+                and self.runahead.cache_hit(word)):
+            op.forwarded = True
+            self._schedule(addr_ready + 1, _EV_COMPLETE, op)
+            return
+        self._start_memory_access(op, addr_ready)
+
+    def _start_memory_access(self, op: InFlightOp, start: int) -> None:
+        uop = op.uop
+        path = AccessPath.WRONG if op.wrong_path else AccessPath.CORRECT
+        engine = self.runahead
+        if engine is not None and engine.active and not engine.may_issue_fill(
+                self.hierarchy, start):
+            # Miss buffers saturated / episode fill budget exhausted:
+            # drop the runahead fill and INV the load.
+            op.inv = True
+            self._schedule(start + 2, _EV_COMPLETE, op)
+            return
+        self.stats.activity.l1d_accesses += 1
+        result = self.hierarchy.load(uop.addr, start, uop.pc, path)
+        # Record the scheduled fill time eagerly: the runahead engine needs
+        # it to time its exit while the load is still incomplete.
+        op.complete_cycle = result.complete_cycle
+        if result.l2_miss:
+            op.l2_miss = True
+            if not op.wrong_path:
+                self.stats.demand_miss_intervals.append(
+                    (start, result.complete_cycle))
+        engine = self.runahead
+        if engine is not None and engine.active:
+            # Runahead: a long-latency load (a fresh L2 miss, or a merge
+            # into a line another miss is still fetching) gets an INV
+            # result immediately while its fill proceeds underneath (the
+            # prefetching effect).  Blocking on it would stall
+            # pseudo-retirement for the rest of the episode.
+            long_latency = (result.complete_cycle - start
+                            > self.config.l2.hit_latency + 8)
+            if result.l2_miss or long_latency:
+                op.inv = True
+                if result.l2_miss:
+                    engine.note_episode_miss()
+                self._schedule(start + 2, _EV_COMPLETE, op)
+                return
+        self._schedule(result.complete_cycle, _EV_COMPLETE, op)
+
+    def _issue_store(self, op: InFlightOp) -> None:
+        addr_ready = self.cycle + EXEC_LATENCY[OpClass.STORE]
+        op.addr_known_cycle = addr_ready
+        engine = self.runahead
+        if engine is not None and engine.active and not op.inv:
+            engine.cache_write(op.uop.addr & ~7)
+        self._schedule(addr_ready, _EV_COMPLETE, op)
+
+    def _store_executed(self, op: InFlightOp) -> None:
+        """A store finished executing: satisfy loads waiting to forward."""
+        waiters = op.fwd_waiters
+        if not waiters:
+            return
+        op.fwd_waiters = None
+        now = self.cycle
+        for load in waiters:
+            if load.squashed:
+                continue
+            self._schedule(now + 1, _EV_COMPLETE, load)
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch_stage(self) -> int:
+        if self.cycle < self._alloc_stall_until or self._stop_alloc:
+            if self._decode_q:
+                self.stats.dispatch_stall_cycles += 1
+            return 0
+        dispatched = 0
+        width = self.config.width
+        queue = self._decode_q
+        window = self.window
+        now = self.cycle
+        while queue and dispatched < width:
+            ready_at, op = queue[0]
+            if ready_at > now:
+                break
+            is_mem = op.uop.is_mem
+            if not window.has_room(1, 1, 1 if is_mem else 0):
+                self.stats.dispatch_stall_cycles += 1
+                break
+            queue.popleft()
+            self._dispatch_op(op)
+            dispatched += 1
+        return dispatched
+
+    def _dispatch_op(self, op: InFlightOp) -> None:
+        window = self.window
+        uop = op.uop
+        op.dispatch_cycle = self.cycle
+        window.rob.allocate()
+        window.iq.allocate()
+        op.in_iq = True
+        if uop.is_mem:
+            window.lsq.allocate()
+        stats = self.stats
+        stats.dispatched_uops += 1
+        if op.wrong_path:
+            stats.wrong_path_uops += 1
+        activity = stats.activity
+        activity.renames += 1
+        activity.iq_writes += 1
+        activity.rob_writes += 1
+
+        now = self.cycle
+        pending = 0
+        for src in uop.srcs:
+            producer = self._map.get(src)
+            if producer is None or producer.squashed:
+                continue
+            if producer.woken_at >= 0 and producer.woken_at <= now:
+                if producer.inv:
+                    op.inherit_inv = True
+                continue
+            if producer.consumers is None:
+                producer.consumers = [op]
+            else:
+                producer.consumers.append(op)
+            pending += 1
+        op.pending_srcs = pending
+        op.ready_cycle = now + 1
+        if pending == 0:
+            heapq.heappush(self._ready, (op.seq, op))
+        if uop.dst != REG_INVALID:
+            self._map[uop.dst] = op
+        self.rob.append(op)
+        if uop.is_store:
+            self._pending_stores[uop.addr & ~7] = op
+
+    # ------------------------------------------------------------------
+    # fetch
+
+    def _fetch_stage(self) -> int:
+        now = self.cycle
+        if now < self._fetch_stall_until:
+            self.stats.fetch_stall_cycles += 1
+            return 0
+        fetched = 0
+        width = self.config.width
+        queue = self._decode_q
+        activity = self.stats.activity
+        while fetched < width and len(queue) < FETCH_BUFFER:
+            if self._wrong_mode:
+                uop = self.trace.wrong_path.op_at(self._wrong_base_pc,
+                                                  self._wrong_k)
+                trace_idx = -1
+            else:
+                if self._trace_idx >= len(self.trace.ops):
+                    break
+                uop = self.trace.ops[self._trace_idx]
+                trace_idx = self._trace_idx
+            # I-cache access on a new line
+            line = uop.pc - (uop.pc % self.config.l1i.line_bytes)
+            if line != self._last_fetch_line:
+                activity.l1i_accesses += 1
+                done = self.hierarchy.ifetch(uop.pc, now)
+                self._last_fetch_line = line
+                if done > now + self.config.l1i.hit_latency:
+                    self._fetch_stall_until = done
+                    break
+            self._seq += 1
+            op = InFlightOp(self._seq, uop, trace_idx, self._wrong_mode)
+            op.fetch_cycle = now
+            activity.fetches += 1
+            activity.decodes += 1
+            end_cycle = False
+            if self._wrong_mode:
+                self._wrong_k += 1
+                end_cycle = uop.is_branch     # taken wrong-path branch
+            elif uop.is_branch:
+                end_cycle = self._fetch_branch(op)
+            else:
+                self._trace_idx += 1
+            queue.append((now + DECODE_LATENCY, op))
+            fetched += 1
+            if end_cycle:
+                break
+        return fetched
+
+    def _fetch_branch(self, op: InFlightOp) -> bool:
+        """Predict a correct-path branch; returns True if fetch must stop
+        this cycle (predicted-taken redirect bubble)."""
+        uop = op.uop
+        activity = self.stats.activity
+        activity.bpred_lookups += 1
+        pred_taken, pred_target, token = self.predictor.predict(
+            uop.pc, uop.pc + 4)
+        op.branch_token = token
+        self._trace_idx += 1
+        actual_taken = uop.taken
+        mispredicted = (pred_taken != actual_taken
+                        or (actual_taken and pred_target != uop.target))
+        op.mispredicted = mispredicted
+        if mispredicted:
+            self._wrong_mode = True
+            self._wrong_branch = op
+            self._wrong_base_pc = pred_target if pred_taken else uop.pc + 4
+            self._wrong_k = 0
+        return pred_taken
+
+    # ------------------------------------------------------------------
+    # resizing
+
+    def _policy_stage(self) -> bool:
+        self._stop_alloc = False
+        decision = self.policy.tick(self.cycle, self.window)
+        acted = False
+        if decision.stop_alloc:
+            self._stop_alloc = True
+            self.stats.stop_alloc_cycles += 1
+            acted = True
+        if decision.new_level is not None and decision.new_level != self.level:
+            self._apply_level(decision.new_level)
+            acted = True
+        return acted
+
+    # ------------------------------------------------------------------
+    # main loop
+
+    def _advance_accounting(self, delta: int) -> None:
+        stats = self.stats
+        stats.cycles += delta
+        stats.note_level_cycles(self.level, delta)
+        if delta > 1:
+            # fast-forwarded cycles: the machine state is frozen, so the
+            # commit-block reason of the last simulated cycle persists
+            reason = self._last_stall_reason or "frontend"
+            stats.note_stall_slots(reason, (delta - 1) * self.config.width)
+        activity = stats.activity
+        window = self.window
+        activity.iq_size_cycles += window.iq.capacity * delta
+        activity.rob_size_cycles += window.rob.capacity * delta
+        activity.lsq_size_cycles += window.lsq.capacity * delta
+        activity.iq_max_cycles += window.iq.max_capacity * delta
+        activity.rob_max_cycles += window.rob.max_capacity * delta
+        activity.lsq_max_cycles += window.lsq.max_capacity * delta
+        if self.cycle < self._alloc_stall_until:
+            stats.transition_stall_cycles += min(
+                delta, self._alloc_stall_until - self.cycle)
+
+    def step_cycle(self) -> int:
+        """Simulate the current cycle through every stage.
+
+        Returns the suggested cycle delta: 1 normally, larger when the
+        core is provably idle until a known future event (the caller may
+        advance by any amount between 1 and the returned delta), and 0
+        when the trace has fully drained.  The caller must follow up
+        with :meth:`advance`.
+        """
+        progress = 0
+        progress += self._process_events()
+        progress += self._commit_stage()
+        progress += self._issue_stage()
+        if self._policy_stage():
+            progress += 1
+        progress += self._dispatch_stage()
+        progress += self._fetch_stage()
+        if self._trace_done():
+            return 0
+        if progress == 0 and not self._ready:
+            jump = self._next_interesting_cycle()
+            if jump is None:
+                raise RuntimeError(
+                    f"deadlock at cycle {self.cycle}: no events, "
+                    f"no timers, nothing in flight")
+            return max(1, jump - self.cycle) if self.fast_forward else 1
+        return 1
+
+    def advance(self, delta: int) -> None:
+        """Account ``delta`` cycles and move the clock."""
+        self._advance_accounting(delta)
+        self.cycle += delta
+
+    def run(self, until_committed: int, max_cycles: int | None = None) -> None:
+        """Advance until ``committed_total`` reaches ``until_committed``,
+        the trace drains, or ``max_cycles`` is exceeded (error)."""
+        if max_cycles is None:
+            max_cycles = self.cycle + (until_committed + 1000) * 600
+        while self.committed_total < until_committed:
+            if self.cycle > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({self.committed_total} committed; likely deadlock)")
+            delta = self.step_cycle()
+            if delta == 0:
+                break
+            self.advance(delta)
+
+    def _trace_done(self) -> bool:
+        if self.runahead is not None and self.runahead.active:
+            return False    # fetch index will be rewound at runahead exit
+        return (not self._wrong_mode
+                and self._trace_idx >= len(self.trace.ops)
+                and not self.rob and not self._decode_q)
+
+    def _next_interesting_cycle(self) -> int | None:
+        now = self.cycle
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self._fetch_stall_until > now:
+            candidates.append(self._fetch_stall_until)
+        if self._alloc_stall_until > now:
+            candidates.append(self._alloc_stall_until)
+        if self._decode_q:
+            head_ready = self._decode_q[0][0]
+            if head_ready > now:
+                candidates.append(head_ready)
+        timer = self.policy.next_timer()
+        if timer is not None and timer > now:
+            candidates.append(timer)
+        if self.policy.wants_tick_every_cycle:
+            candidates.append(now + 1)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else None
+
+    # ------------------------------------------------------------------
+    # measurement control and result extraction
+
+    def prewarm(self, budget_fraction: float = 0.625) -> None:
+        """Checkpoint-style cache warming (DESIGN.md §5).
+
+        ``budget_fraction`` caps the total prewarm at that fraction of
+        the L2 (multi-core systems split it between cores).
+
+        The paper skips 16G instructions before measuring, which leaves
+        resident working sets warm.  A Python-scale sample cannot afford
+        that, so the trace's declared resident regions are pre-installed:
+        into the L2 (capped at half its capacity per region so steady-state
+        capacity pressure is preserved) and, for small hot sets, the L1D.
+        Pre-installed lines count as touched correct-path lines in the
+        Figure 11 accounting.
+        """
+        h = self.hierarchy
+        # Total prewarm is capped below the L2 capacity and allocated by
+        # priority (hot sets first, then the smaller regions) — warming
+        # more than fits would just self-evict and manufacture thrash the
+        # steady state does not have.
+        budget = int(self.config.l2.size_bytes * budget_fraction)
+        regions = sorted(self.trace.warm_regions,
+                         key=lambda r: (not r[2], r[1]))
+        line = h.l2.line_bytes
+        for base, size, l1_too in regions:
+            span = min(size, budget)
+            span -= span % line
+            if span <= 0:
+                break
+            budget -= span
+            for addr in range(base, base + span, line):
+                filled = h.l2.install(addr, ready_at=0, brought_by=-1)
+                filled.touched = True
+            if l1_too and size <= self.config.l1d.size_bytes:
+                l1_line = h.l1d.line_bytes
+                for addr in range(base, base + size, l1_line):
+                    h.l1d.install(addr, ready_at=0, brought_by=-1)
+        self._pretrain_predictor()
+
+    def _pretrain_predictor(self) -> None:
+        """Replay the trace's branch stream through the predictor.
+
+        A 16-bit gshare needs each (PC, history) context trained
+        individually; rare history contexts (those following a rarely
+        taken branch) would otherwise cold-miss throughout a short
+        sample.  The paper's 16G skipped instructions provide exactly
+        this training; we substitute a functional (zero-time) replay of
+        the branch outcomes the sample will execute.
+        """
+        predictor = self.predictor
+        for uop in self.trace.ops:
+            if uop.op is OpClass.BRANCH:
+                __, ___, token = predictor.predict(uop.pc, uop.pc + 4)
+                predictor.resolve(token, uop.taken, uop.target)
+        predictor.predictions = 0
+        predictor.mispredictions = 0
+
+    def reset_measurement(self) -> None:
+        """Zero all statistics (microarchitectural state is retained) —
+        call at the warmup/measurement boundary."""
+        self.stats.reset()
+        h = self.hierarchy
+        h.load_latency_sum = 0
+        h.load_count = 0
+        h.demand_l2_misses = 0
+        for cache in (h.l1i, h.l1d, h.l2):
+            cache.hits = 0
+            cache.misses = 0
+            cache.evictions = 0
+        h.memory.requests = 0
+        h.memory.busy_cycles = 0
+        self.predictor.predictions = 0
+        self.predictor.mispredictions = 0
+
+    def result(self) -> SimulationResult:
+        """Snapshot the measured statistics into a result record."""
+        stats = self.stats
+        return SimulationResult(
+            program=self.trace.name,
+            model=self.config.model.value,
+            level=self.config.level,
+            cycles=stats.cycles,
+            instructions=stats.committed_uops,
+            ipc=stats.ipc,
+            avg_load_latency=self.hierarchy.average_load_latency(),
+            mispredict_rate=self.predictor.mispredict_rate(),
+            mlp=mlp_from_intervals(stats.demand_miss_intervals),
+            level_residency=stats.level_residency(),
+            line_usage=self.hierarchy.line_usage().as_dict(),
+            memory_stats={
+                "l1i_accesses": self.hierarchy.l1i.accesses,
+                "l1i_misses": self.hierarchy.l1i.misses,
+                "l1d_accesses": self.hierarchy.l1d.accesses,
+                "l1d_misses": self.hierarchy.l1d.misses,
+                "l2_accesses": self.hierarchy.l2.accesses,
+                "l2_misses": self.hierarchy.l2.misses,
+                "dram_requests": self.hierarchy.memory.requests,
+                "prefetch_fills": self.hierarchy.prefetch_fills,
+                "row_hit_rate": getattr(self.hierarchy.memory,
+                                        "row_hit_rate", lambda: 0.0)(),
+            },
+            stats=stats,
+        )
+
+
+def simulate(config: ProcessorConfig, trace: "Trace",
+             warmup: int = 5_000, measure: int = 30_000,
+             policy: ResizingPolicy | None = None,
+             prewarm: bool = True) -> SimulationResult:
+    """Run one trace on one configuration and return the measured result.
+
+    The caches are pre-installed with the trace's resident regions
+    (unless ``prewarm=False``), then ``warmup`` committed micro-ops are
+    executed to warm the predictors and the rest of the memory system,
+    statistics are reset, and ``measure`` micro-ops are measured.  The
+    trace must contain at least ``warmup + measure`` ops.
+    """
+    if len(trace.ops) < warmup + measure:
+        raise ValueError(
+            f"trace has {len(trace.ops)} ops; need {warmup + measure}")
+    proc = Processor(config, trace, policy=policy)
+    if prewarm:
+        proc.prewarm()
+    if warmup:
+        proc.run(until_committed=warmup)
+        proc.reset_measurement()
+    proc.run(until_committed=warmup + measure)
+    return proc.result()

@@ -1,0 +1,123 @@
+"""Resizable FIFO window resources (paper Figure 3).
+
+Each of the ROB, IQ and LSQ is a FIFO structure whose *active region*
+spans ``capacity`` physical entries out of ``max_capacity``.  Allocation
+claims an entry at the tail, deallocation releases one (in order for the
+ROB/LSQ, out of order for the IQ — the occupancy count is what matters
+for resizing).
+
+Shrinking from S to S' requires the region [S', S) to be vacant.  With
+in-order allocation and mostly-in-order release, the occupied region is a
+contiguous window of at most ``occupancy`` entries, so the model uses
+``occupancy <= S'`` as the vacancy condition.  This is at most a few
+cycles optimistic versus tracking exact physical slot indices (the paper
+itself stalls allocation until the region drains, which the controller
+also does here via ``stop_alloc``); the approximation is noted in
+DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+
+class WindowResource:
+    """Occupancy tracking of one resizable FIFO resource."""
+
+    def __init__(self, name: str, capacity: int, max_capacity: int) -> None:
+        if not 0 < capacity <= max_capacity:
+            raise ValueError(
+                f"{name}: need 0 < capacity <= max_capacity, "
+                f"got {capacity}/{max_capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.max_capacity = max_capacity
+        self.occupancy = 0
+        self.peak_occupancy = 0
+        self.alloc_count = 0
+        self.full_events = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.occupancy
+
+    def is_full(self) -> bool:
+        if self.occupancy >= self.capacity:
+            self.full_events += 1
+            return True
+        return False
+
+    def allocate(self, n: int = 1) -> None:
+        if self.occupancy + n > self.capacity:
+            raise RuntimeError(
+                f"{self.name}: allocation overflow "
+                f"({self.occupancy}+{n} > {self.capacity})")
+        self.occupancy += n
+        self.alloc_count += n
+        if self.occupancy > self.peak_occupancy:
+            self.peak_occupancy = self.occupancy
+
+    def release(self, n: int = 1) -> None:
+        if self.occupancy - n < 0:
+            raise RuntimeError(f"{self.name}: release underflow")
+        self.occupancy -= n
+
+    def can_shrink_to(self, new_capacity: int) -> bool:
+        """True if the region beyond ``new_capacity`` is vacant."""
+        return self.occupancy <= new_capacity
+
+    def resize(self, new_capacity: int) -> None:
+        """Change the active region size (grow or shrink)."""
+        if not 0 < new_capacity <= self.max_capacity:
+            raise ValueError(
+                f"{self.name}: capacity {new_capacity} outside "
+                f"1..{self.max_capacity}")
+        if new_capacity < self.occupancy:
+            raise RuntimeError(
+                f"{self.name}: cannot shrink to {new_capacity} with "
+                f"{self.occupancy} occupants")
+        self.capacity = new_capacity
+
+    def __repr__(self) -> str:
+        return (f"<{self.name} {self.occupancy}/{self.capacity} "
+                f"(max {self.max_capacity})>")
+
+
+class WindowSet:
+    """The three window resources, resized together by level."""
+
+    def __init__(self, levels, level: int, max_level: int | None = None) -> None:
+        """``max_level`` bounds the *physical* provisioning: a fixed-size
+        processor only builds its own level's resources, while the dynamic
+        model physically provisions the top level (paper Section 5.1)."""
+        top = levels[(len(levels) if max_level is None else max_level) - 1]
+        cfg = levels[level - 1]
+        self.levels = levels
+        self.rob = WindowResource("ROB", cfg.rob_entries, top.rob_entries)
+        self.iq = WindowResource("IQ", cfg.iq_entries, top.iq_entries)
+        self.lsq = WindowResource("LSQ", cfg.lsq_entries, top.lsq_entries)
+
+    def can_shrink_to(self, level: int) -> bool:
+        """True if *all three* resources can shrink simultaneously
+        (paper Figure 5, line 16)."""
+        cfg = self.levels[level - 1]
+        return (self.rob.can_shrink_to(cfg.rob_entries)
+                and self.iq.can_shrink_to(cfg.iq_entries)
+                and self.lsq.can_shrink_to(cfg.lsq_entries))
+
+    def resize_to(self, level: int) -> None:
+        cfg = self.levels[level - 1]
+        self.rob.resize(cfg.rob_entries)
+        self.iq.resize(cfg.iq_entries)
+        self.lsq.resize(cfg.lsq_entries)
+
+    def has_room(self, need_rob: int, need_iq: int, need_lsq: int) -> bool:
+        ok = True
+        if self.rob.free < need_rob:
+            self.rob.full_events += 1
+            ok = False
+        if self.iq.free < need_iq:
+            self.iq.full_events += 1
+            ok = False
+        if self.lsq.free < need_lsq:
+            self.lsq.full_events += 1
+            ok = False
+        return ok

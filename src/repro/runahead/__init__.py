@@ -1,0 +1,25 @@
+"""Runahead execution comparator (Section 5.7 of the paper).
+
+Runahead execution (Mutlu et al., HPCA'03) exploits MLP with a *small*
+window: when a load misses the L2 and blocks the ROB head, the processor
+checkpoints, pseudo-retires instructions past the blocked load (the load
+itself gets an INV result), and keeps fetching/executing.  Valid loads on
+this runahead path that miss the L2 start their fills early — that is the
+MLP.  When the original miss returns, everything is flushed and execution
+restarts from the checkpoint; re-executed loads now hit the cache.
+
+The engine plugs into :class:`repro.pipeline.core.Processor` at a handful
+of hook points and implements:
+
+* entry/exit with the checkpointed fetch position,
+* INV propagation through the dataflow (inherited by the core's wakeup),
+* a 512-byte runahead cache for memory dependences in runahead mode,
+* the runahead cause status table (RCST) of the MICRO'05 enhancements
+  paper, which suppresses episodes predicted useless (the milc problem
+  discussed in Section 5.7).
+"""
+
+from repro.runahead.engine import RunaheadEngine
+from repro.runahead.rcst import RunaheadCauseStatusTable
+
+__all__ = ["RunaheadEngine", "RunaheadCauseStatusTable"]

@@ -1,0 +1,49 @@
+"""Runahead cause status table.
+
+A small PC-indexed table of 2-bit confidence counters predicting whether
+entering runahead for a given L2-missing load will be *useful* (i.e.,
+whether the episode will uncover additional L2 misses).  Mutlu et al.
+(MICRO'05) introduced it to suppress useless episodes; Section 5.7 of the
+reproduced paper notes the prediction is imperfect — milc still loses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class RunaheadCauseStatusTable:
+    """LRU table of 2-bit useful/useless counters, keyed by load PC."""
+
+    #: counters start weakly-useful so the first episode is always tried.
+    INITIAL = 2
+
+    def __init__(self, entries: int = 64) -> None:
+        if entries < 1:
+            raise ValueError("RCST needs at least one entry")
+        self.entries = entries
+        self._table: OrderedDict[int, int] = OrderedDict()
+        self.suppressions = 0
+
+    def predicts_useful(self, pc: int) -> bool:
+        """Should we enter runahead for a miss caused by ``pc``?"""
+        counter = self._table.get(pc)
+        if counter is None:
+            return True
+        self._table.move_to_end(pc)
+        if counter >= 2:
+            return True
+        self.suppressions += 1
+        return False
+
+    def update(self, pc: int, useful: bool) -> None:
+        """Train with the outcome of a completed episode."""
+        counter = self._table.get(pc, self.INITIAL)
+        counter = min(3, counter + 1) if useful else max(0, counter - 1)
+        if pc not in self._table and len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[pc] = counter
+        self._table.move_to_end(pc)
+
+    def __len__(self) -> int:
+        return len(self._table)

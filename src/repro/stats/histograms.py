@@ -1,0 +1,94 @@
+"""Histograms and interval arithmetic for the memory-behaviour figures.
+
+* :class:`IntervalHistogram` bins L2 miss intervals the way Figure 4 of
+  the paper does (8-cycle bins, long tail clipped into the last bin).
+* :func:`mlp_from_intervals` computes achieved memory-level parallelism:
+  the average number of outstanding demand misses over the cycles during
+  which at least one miss is outstanding.
+"""
+
+from __future__ import annotations
+
+
+class IntervalHistogram:
+    """Fixed-width-bin histogram of non-negative integer samples."""
+
+    def __init__(self, bin_width: int = 8, max_value: int = 512) -> None:
+        if bin_width < 1 or max_value < bin_width:
+            raise ValueError("need bin_width >= 1 and max_value >= bin_width")
+        self.bin_width = bin_width
+        self.max_value = max_value
+        self.num_bins = max_value // bin_width
+        self.bins = [0] * (self.num_bins + 1)   # last bin = overflow
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("interval samples must be non-negative")
+        index = min(value // self.bin_width, self.num_bins)
+        self.bins[index] += 1
+        self.count += 1
+        self.total += value
+
+    def add_all(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bin_edges(self) -> list[tuple[int, int]]:
+        """(low, high) cycle range of each bin; the last is open-ended."""
+        edges = [(i * self.bin_width, (i + 1) * self.bin_width)
+                 for i in range(self.num_bins)]
+        edges.append((self.max_value, -1))
+        return edges
+
+    def fraction_below(self, value: int) -> float:
+        """Fraction of samples strictly below ``value`` cycles."""
+        if not self.count:
+            return 0.0
+        full_bins = min(value // self.bin_width, self.num_bins)
+        return sum(self.bins[:full_bins]) / self.count
+
+    def peak_bin(self, skip_first: int = 0) -> int:
+        """Index of the fullest bin at or after ``skip_first``."""
+        tail = self.bins[skip_first:]
+        if not tail:
+            raise ValueError("skip_first beyond histogram")
+        return skip_first + max(range(len(tail)), key=tail.__getitem__)
+
+    def rows(self) -> list[tuple[str, int]]:
+        """Render-ready (label, count) rows."""
+        out = []
+        for (low, high), count in zip(self.bin_edges(), self.bins):
+            label = f"{low}-{high}" if high >= 0 else f">={low}"
+            out.append((label, count))
+        return out
+
+
+def mlp_from_intervals(intervals: list[tuple[int, int]]) -> float:
+    """Average outstanding demand misses while any miss is outstanding.
+
+    ``intervals`` are (start, end) cycles of individual demand L2 misses.
+    MLP = sum of individual durations / length of their union.  A value
+    of 1.0 means misses were fully serialised (Figure 1a of the paper);
+    larger values mean overlap (Figure 1b).
+    """
+    if not intervals:
+        return 0.0
+    total = sum(end - start for start, end in intervals)
+    merged = 0
+    cur_start = cur_end = None
+    for start, end in sorted(intervals):
+        if cur_end is None or start > cur_end:
+            if cur_end is not None:
+                merged += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_end is not None:
+        merged += cur_end - cur_start
+    return total / merged if merged else 0.0

@@ -1,0 +1,54 @@
+"""Per-run result records and cross-run aggregation helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.stats.counters import SimStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced, in derived-metric form.
+
+    ``stats`` keeps the raw counters; the scalar fields are what the
+    experiment harnesses consume.
+    """
+
+    program: str
+    model: str
+    level: int
+    cycles: int
+    instructions: int
+    ipc: float
+    avg_load_latency: float
+    mispredict_rate: float
+    mlp: float
+    level_residency: dict[int, float] = field(default_factory=dict)
+    line_usage: dict[str, int] = field(default_factory=dict)
+    memory_stats: dict[str, int] = field(default_factory=dict)
+    energy_nj: float = 0.0
+    edp: float = 0.0
+    stats: SimStats | None = None
+
+    def speedup_over(self, base: "SimulationResult") -> float:
+        """IPC ratio against a baseline run of the same program."""
+        if base.ipc <= 0:
+            raise ValueError(f"baseline IPC is zero for {base.program}")
+        return self.ipc / base.ipc
+
+    def summary_line(self) -> str:
+        return (f"{self.program:<12} {self.model:<8} L{self.level} "
+                f"IPC={self.ipc:6.3f} loadlat={self.avg_load_latency:7.1f} "
+                f"MLP={self.mlp:5.2f} cycles={self.cycles}")
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean, as the paper uses for its GM bars."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,131 @@
+"""Windowed time-series sampling of a running simulation.
+
+A :class:`TimelineSampler` attaches to a :class:`~repro.pipeline.Processor`
+and records per-window samples of the quantities that show the paper's
+*phase* story (Figure 6): the active window level, committed IPC, and L2
+misses per window.  ``sparkline`` renders a series as a compact ASCII
+strip for terminal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass
+class TimelineSample:
+    """One sampling window."""
+
+    cycle: int
+    level: int
+    committed: int
+    l2_misses: int
+
+    @property
+    def ipc(self) -> float:
+        return 0.0
+
+
+@dataclass
+class Timeline:
+    """A finished recording."""
+
+    window_cycles: int
+    samples: list[TimelineSample] = field(default_factory=list)
+
+    def levels(self) -> list[int]:
+        return [s.level for s in self.samples]
+
+    def ipcs(self) -> list[float]:
+        return [s.committed / self.window_cycles for s in self.samples]
+
+    def miss_counts(self) -> list[int]:
+        return [s.l2_misses for s in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class TimelineSampler:
+    """Samples a processor every ``window_cycles`` simulated cycles.
+
+    Usage::
+
+        proc = Processor(dynamic_config(3), trace)
+        sampler = TimelineSampler(proc, window_cycles=500)
+        while proc.committed_total < target:
+            proc.run(until_committed=proc.committed_total + 500)
+            sampler.poll()
+        timeline = sampler.finish()
+    """
+
+    def __init__(self, processor, window_cycles: int = 500) -> None:
+        if window_cycles < 1:
+            raise ValueError("window must be >= 1 cycle")
+        self.processor = processor
+        self.timeline = Timeline(window_cycles=window_cycles)
+        self._next_edge = processor.cycle + window_cycles
+        self._last_committed = processor.committed_total
+        self._last_misses = processor.hierarchy.demand_l2_misses
+
+    def poll(self) -> None:
+        """Record samples for every window edge passed since last poll."""
+        proc = self.processor
+        while proc.cycle >= self._next_edge:
+            committed = proc.committed_total
+            misses = proc.hierarchy.demand_l2_misses
+            self.timeline.samples.append(TimelineSample(
+                cycle=self._next_edge,
+                level=proc.level,
+                committed=committed - self._last_committed,
+                l2_misses=misses - self._last_misses))
+            self._last_committed = committed
+            self._last_misses = misses
+            self._next_edge += self.timeline.window_cycles
+
+    def finish(self) -> Timeline:
+        self.poll()
+        return self.timeline
+
+
+def sparkline(values, width: int = 60, max_value: float | None = None) -> str:
+    """Render a numeric series as a one-line ASCII sparkline."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        # average-pool down to `width` buckets
+        bucket = len(values) / width
+        pooled = []
+        for i in range(width):
+            lo = int(i * bucket)
+            hi = max(lo + 1, int((i + 1) * bucket))
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        return " " * len(values)
+    chars = []
+    for v in values:
+        idx = min(len(_SPARK_CHARS) - 1,
+                  int(v / top * (len(_SPARK_CHARS) - 1) + 0.5))
+        chars.append(_SPARK_CHARS[max(0, idx)])
+    return "".join(chars)
+
+
+def record_timeline(processor, until_committed: int,
+                    window_cycles: int = 500,
+                    poll_every: int = 200) -> Timeline:
+    """Run ``processor`` to ``until_committed``, sampling as it goes."""
+    sampler = TimelineSampler(processor, window_cycles=window_cycles)
+    while processor.committed_total < until_committed:
+        target = min(until_committed,
+                     processor.committed_total + poll_every)
+        processor.run(until_committed=target)
+        sampler.poll()
+        if processor.committed_total < target:
+            break   # trace exhausted
+    return sampler.finish()

@@ -1,0 +1,127 @@
+"""Built-in reproduction self-check (``python -m repro validate``).
+
+Runs a reduced-scale version of the headline experiments and checks each
+of the paper's qualitative claims against expected bands.  This is the
+"is my install sane / did my change break the reproduction?" command —
+a few minutes, prints one PASS/FAIL line per claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import Settings, Sweep
+
+
+@dataclass
+class Check:
+    """One claim to validate."""
+
+    name: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _fig07_checks(sweep) -> list[Check]:
+    import importlib
+    result = importlib.import_module(EXPERIMENTS["fig07"]).run(sweep=sweep)
+    checks = [
+        Check("fig07.gm_mem",
+              "GM memory-intensive speedup in band (paper +48%)",
+              1.2 <= result.series["gm_mem"] <= 2.2,
+              f"measured {result.series['gm_mem']:.2f}"),
+        Check("fig07.gm_comp",
+              "GM compute-intensive speedup ~neutral (paper +4%)",
+              0.9 <= result.series["gm_comp"] <= 1.15,
+              f"measured {result.series['gm_comp']:.2f}"),
+        Check("fig07.gm_all",
+              "GM overall speedup in band (paper +21%)",
+              1.1 <= result.series["gm_all"] <= 1.5,
+              f"measured {result.series['gm_all']:.2f}"),
+    ]
+    worst = min(result.series["per_program"].items(),
+                key=lambda kv: kv[1]["res"] / kv[1]["fixed_best"])
+    ratio = worst[1]["res"] / worst[1]["fixed_best"]
+    checks.append(Check(
+        "fig07.adaptivity",
+        "resizing within 20% of best fixed level for every program",
+        ratio >= 0.8, f"worst: {worst[0]} at {ratio:.2f}"))
+    return checks
+
+
+def _fig04_checks(sweep) -> list[Check]:
+    import importlib
+    result = importlib.import_module(EXPERIMENTS["fig04"]).run(sweep=sweep)
+    return [
+        Check("fig04.clustering",
+              "L2 misses cluster (most within 64 cycles of the previous)",
+              result.series["fraction_below_64"] > 0.4,
+              f"{result.series['fraction_below_64']:.0%} below 64 cycles"),
+        Check("fig04.latency_peak",
+              "secondary miss-interval peak near the 300-cycle latency",
+              200 <= result.series["late_peak_bin_low"] <= 420,
+              f"peak at {result.series['late_peak_bin_low']} cycles"),
+    ]
+
+
+def _table3_checks(sweep) -> list[Check]:
+    import importlib
+    result = importlib.import_module(EXPERIMENTS["table3"]).run(sweep=sweep)
+    return [Check("table3.categories",
+                  "programs land on the paper's side of the 10-cycle split",
+                  result.series["agreement"] >= 0.9,
+                  f"{result.series['agreement']:.0%} agree")]
+
+
+def _fig09_checks(sweep) -> list[Check]:
+    import importlib
+    result = importlib.import_module(EXPERIMENTS["fig09"]).run(sweep=sweep)
+    return [Check("fig09.edp",
+                  "overall 1/EDP improves (paper +8%)",
+                  result.series["gm_all"] > 1.0,
+                  f"measured {result.series['gm_all']:.2f}")]
+
+
+def _fig12_checks(sweep) -> list[Check]:
+    import importlib
+    result = importlib.import_module(EXPERIMENTS["fig12"]).run(sweep=sweep)
+    return [Check("fig12.runahead",
+                  "resizing beats runahead on the memory GM",
+                  result.series["gm_dyn_mem"] > result.series[
+                      "gm_runahead_mem"],
+                  f"dyn {result.series['gm_dyn_mem']:.2f} vs runahead "
+                  f"{result.series['gm_runahead_mem']:.2f}")]
+
+
+_SUITES: list[Callable] = [_table3_checks, _fig04_checks, _fig07_checks,
+                           _fig09_checks, _fig12_checks]
+
+
+def validate(settings: Settings | None = None,
+             verbose: bool = True) -> list[Check]:
+    """Run all claim checks; returns the check list."""
+    settings = settings or Settings(all_programs=False, warmup=2_000,
+                                    measure=6_000)
+    sweep = Sweep(settings)
+    checks: list[Check] = []
+    start = time.time()
+    for suite in _SUITES:
+        checks.extend(suite(sweep))
+    if verbose:
+        for check in checks:
+            status = "PASS" if check.passed else "FAIL"
+            print(f"[{status}] {check.name:<18} {check.claim} "
+                  f"({check.detail})")
+        failed = sum(not c.passed for c in checks)
+        print(f"\n{len(checks) - failed}/{len(checks)} claims hold "
+              f"({time.time() - start:.0f}s)")
+    return checks
+
+
+def main(argv=None) -> int:
+    checks = validate()
+    return 0 if all(c.passed for c in checks) else 1

@@ -1,0 +1,69 @@
+"""Synthetic workload substrate.
+
+The paper evaluates SPEC CPU2006 (Alpha binaries on a SimpleScalar-derived
+simulator).  Neither the binaries nor a functional Alpha front end are
+reproducible here, so this package substitutes *parameterised synthetic
+trace generators*: one :class:`~repro.workloads.generator.ProgramProfile`
+per SPEC2006 program of Table 3, each tuned to reproduce the behavioural
+knobs the resizing mechanism actually responds to —
+
+* average load latency / L2 miss rate (memory- vs compute-intensive),
+* temporal *clustering* of L2 misses (phase structure; paper Figure 4),
+* memory access pattern (streaming / pointer-chasing / scattered), which
+  determines both prefetcher efficacy and achievable MLP,
+* instruction-level parallelism (dependence chain depth), and
+* branch predictability (paper Table 5 misprediction distances).
+
+See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.generator import (
+    MemoryBehavior,
+    PhaseSpec,
+    ProgramProfile,
+    TraceGenerator,
+    generate_trace,
+)
+from repro.workloads.trace import Trace, WrongPathSynthesizer
+from repro.workloads.profiles import (
+    PROFILES,
+    MEMORY_INTENSIVE,
+    COMPUTE_INTENSIVE,
+    SELECTED_MEMORY,
+    SELECTED_COMPUTE,
+    profile,
+    program_names,
+)
+from repro.workloads.kernels import (
+    KERNELS,
+    compute_kernel,
+    phased_kernel,
+    pointer_chase_kernel,
+    random_access_kernel,
+    stencil_kernel,
+    stream_kernel,
+)
+
+__all__ = [
+    "KERNELS",
+    "compute_kernel",
+    "phased_kernel",
+    "pointer_chase_kernel",
+    "random_access_kernel",
+    "stencil_kernel",
+    "stream_kernel",
+    "MemoryBehavior",
+    "PhaseSpec",
+    "ProgramProfile",
+    "TraceGenerator",
+    "generate_trace",
+    "Trace",
+    "WrongPathSynthesizer",
+    "PROFILES",
+    "MEMORY_INTENSIVE",
+    "COMPUTE_INTENSIVE",
+    "SELECTED_MEMORY",
+    "SELECTED_COMPUTE",
+    "profile",
+    "program_names",
+]

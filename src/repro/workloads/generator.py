@@ -1,0 +1,455 @@
+"""Phase-structured synthetic program generator.
+
+A :class:`ProgramProfile` describes a program as a cycle of *phases*; each
+phase is a loop nest with a fixed static code layout (so the gshare
+predictor, BTB, I-cache and the PC-indexed stride prefetcher see stable,
+learnable instruction addresses) and a parameterised memory behaviour.
+
+The generator emits the correct dynamic path as a list of
+:class:`~repro.isa.MicroOp`.  Register dependences are synthesized to hit
+a target dependence-chain depth (the ILP knob); load addresses follow
+per-PC streams (striding, pointer-chasing, scattered or hot), which is
+the MLP/prefetchability knob; phase alternation provides the L2 miss
+clustering the resizing controller exploits (paper Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.isa import MicroOp, OpClass, REG_INVALID
+from repro.workloads.trace import Trace
+
+#: Code addresses: each phase gets its own 64KB region.
+_CODE_BASE = 0x0040_0000
+_CODE_REGION = 0x1_0000
+#: Data addresses: each phase gets its own gigabyte-aligned region so
+#: different phases never share cache lines.
+_DATA_BASE = 0x4000_0000
+_DATA_REGION = 0x4000_0000
+
+#: Registers used for synthetic dataflow.  r0 is reserved as "always
+#: ready" (like the architectural zero register); dataflow rotates over a
+#: pool so dependences are explicit and WAW noise is bounded.
+_INT_POOL = tuple(range(1, 25))
+_FP_POOL = tuple(range(33, 57))
+_CHASE_REG = 30      # register carrying the pointer in chase chains
+_STRIDE_REG = 31     # induction-like register for address computation
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Where a phase's loads and stores go.
+
+    The four access-pattern weights are normalised internally:
+
+    * ``stride``: sequential walk over ``stream_bytes`` with
+      ``stride_bytes`` steps — prefetcher-friendly, high MLP.
+    * ``chase``: pointer chase — each chase load's *address* depends on
+      the previous chase load's result, so misses serialise (low MLP).
+    * ``scatter``: uniform random over ``working_set_bytes`` — defeats
+      the prefetcher; MLP limited only by the window.
+    * ``hot``: random over ``hot_set_bytes`` (L1-resident by default) —
+      cache-friendly traffic.
+    """
+
+    stride: float = 0.0
+    chase: float = 0.0
+    scatter: float = 0.0
+    hot: float = 1.0
+    working_set_bytes: int = 16 * 1024
+    hot_set_bytes: int = 8 * 1024
+    stream_bytes: int = 1 * 1024 * 1024
+    stride_bytes: int = 8
+    #: if set, stores follow the stride stream with this probability
+    #: (else the hot set) instead of the load weights — models programs
+    #: like lbm whose misses are dominated by a write stream.
+    store_stream_frac: float | None = None
+
+    def weights(self) -> tuple[float, float, float, float]:
+        total = self.stride + self.chase + self.scatter + self.hot
+        if total <= 0:
+            raise ValueError("memory behaviour weights must sum > 0")
+        return (self.stride / total, self.chase / total,
+                self.scatter / total, self.hot / total)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a program: a loop with fixed code and memory behaviour."""
+
+    name: str
+    #: dynamic micro-ops emitted per phase instance
+    length: int
+    mem: MemoryBehavior = field(default_factory=MemoryBehavior)
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    fp_frac: float = 0.0
+    #: average arithmetic dependence chain depth; 1 = wide ILP, larger =
+    #: serial chains
+    chain_depth: int = 2
+    #: basic blocks in the loop body and micro-ops per block
+    blocks: int = 4
+    block_ops: int = 12
+    #: fraction of conditional branches whose outcome is (nearly)
+    #: unpredictable, and their taken probability
+    noisy_branch_frac: float = 0.1
+    noisy_taken_prob: float = 0.5
+    #: taken probability of the predictable (biased) conditional branches;
+    #: together with ``noisy_branch_frac`` this sets the Table 5
+    #: misprediction distance
+    bias_taken_prob: float = 0.002
+    #: long-latency non-memory op mix (mul/div) among arithmetic ops
+    longop_frac: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.length < self.blocks * (self.block_ops + 1):
+            raise ValueError(
+                f"phase '{self.name}': length {self.length} shorter than one "
+                f"loop iteration")
+        if not 0.0 <= self.load_frac + self.store_frac <= 1.0:
+            raise ValueError("load_frac + store_frac must be within [0, 1]")
+        if self.chain_depth < 1:
+            raise ValueError("chain_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """A synthetic stand-in for one SPEC2006 program."""
+
+    name: str
+    category: str                      # "int" or "fp"
+    memory_intensive: bool
+    phases: tuple[PhaseSpec, ...]
+    #: Table 3 reference value (average load latency, cycles) — used only
+    #: for reporting alongside measured values.
+    paper_load_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("profile needs at least one phase")
+        if self.category not in ("int", "fp"):
+            raise ValueError("category must be 'int' or 'fp'")
+
+
+# static slot memory patterns
+_PAT_STRIDE = 0
+_PAT_CHASE = 1
+_PAT_MIXED = 2      # scatter-or-hot, rolled per dynamic instance
+_PAT_SCATTER = 3    # resolved dynamic patterns
+_PAT_HOT = 4
+
+
+class _StaticOp:
+    """Template of one static instruction slot (same PC → same behaviour)."""
+
+    __slots__ = ("pc", "kind", "pattern", "taken_prob", "target", "stream_id")
+
+    def __init__(self, pc: int, kind: OpClass, pattern: int = -1,
+                 taken_prob: float = 0.0, target: int = 0,
+                 stream_id: int = -1) -> None:
+        self.pc = pc
+        self.kind = kind
+        self.pattern = pattern       # one of the _PAT_* constants
+        self.taken_prob = taken_prob
+        self.target = target         # taken target for branches
+        self.stream_id = stream_id   # sub-stream of striding slots
+
+
+class _PhaseState:
+    """Mutable per-phase dynamic state (streams, registers, layout)."""
+
+    def __init__(self, spec: PhaseSpec, index: int, rng: random.Random) -> None:
+        self.spec = spec
+        self.code_base = _CODE_BASE + index * _CODE_REGION
+        self.data_base = _DATA_BASE + index * _DATA_REGION
+        self.static_ops, n_streams = _build_static_loop(
+            spec, self.code_base, rng)
+        # Each striding slot walks its own partition of the stream region,
+        # like a loop body reading several distinct arrays.  This keeps
+        # the per-PC stride equal to the program's element stride, which
+        # is what the PC-indexed stride prefetcher sees in real code.
+        # Partition starts are skewed by a non-power-of-two amount so the
+        # parallel streams do not alias into the same cache sets (real
+        # arrays are not megabyte-aligned either).
+        self.n_streams = max(1, n_streams)
+        partition = spec.mem.stream_bytes // self.n_streams
+        self.stream_partition = max(partition - partition % 64 - 8192,
+                                    64 * max(1, spec.mem.stride_bytes // 64 + 1))
+        self.stream_skew = 127 * 64
+        self.stream_pos = [0] * self.n_streams
+        self.int_cursor = 0
+        self.fp_cursor = 0
+        #: ring of recent destination registers for dependence synthesis
+        self.recent: list[int] = [0] * 8
+
+
+def _build_static_loop(spec: PhaseSpec, code_base: int,
+                       rng: random.Random) -> tuple[list[_StaticOp], int]:
+    """Lay out the static loop body of a phase.
+
+    The loop is ``spec.blocks`` basic blocks; each block ends in a
+    conditional branch to the next block and the final block ends in a
+    loop-back branch (always taken, perfectly learnable).  Conditional
+    branches are taken with probability ``noisy_branch_frac *
+    noisy_taken_prob + bias_taken_prob`` — an i.i.d. outcome the gshare
+    predictor settles to predicting not-taken, so the per-branch
+    misprediction rate equals that probability exactly (this is how the
+    profiles hit their Table 5 misprediction distances without the
+    variance of randomly assigning whole branches as noisy).
+
+    Returns the ops and the number of striding (sub-stream) slots.
+    """
+    ops: list[_StaticOp] = []
+    pc = code_base
+    weights = spec.mem.weights()
+    cond_taken = min(0.5, spec.noisy_branch_frac * spec.noisy_taken_prob
+                     + spec.bias_taken_prob)
+    n_streams = 0
+    # Stride and chase need *dedicated* static slots (the PC-indexed
+    # prefetcher and the serial chase chain are per-PC properties), but
+    # scatter vs hot is decided per dynamic instance (_PAT_MIXED) so that
+    # small scatter weights are not quantised away by the slot count.
+    mixed_weight = weights[2] + weights[3]
+    for block in range(spec.blocks):
+        for __ in range(spec.block_ops):
+            roll = rng.random()
+            if roll < spec.load_frac:
+                pattern = rng.choices(
+                    (_PAT_STRIDE, _PAT_CHASE, _PAT_MIXED),
+                    weights=(weights[0], weights[1], mixed_weight))[0]
+                stream_id = -1
+                if pattern == _PAT_STRIDE:
+                    stream_id = n_streams
+                    n_streams += 1
+                ops.append(_StaticOp(pc, OpClass.LOAD, pattern=pattern,
+                                     stream_id=stream_id))
+            elif roll < spec.load_frac + spec.store_frac:
+                if spec.mem.store_stream_frac is not None:
+                    stream_p = spec.mem.store_stream_frac
+                    pattern = (_PAT_STRIDE if rng.random() < stream_p
+                               else _PAT_MIXED)
+                else:
+                    pattern = rng.choices(
+                        (_PAT_STRIDE, _PAT_MIXED),
+                        weights=(weights[0],
+                                 mixed_weight + weights[1]))[0]
+                stream_id = -1
+                if pattern == _PAT_STRIDE:
+                    stream_id = n_streams
+                    n_streams += 1
+                ops.append(_StaticOp(pc, OpClass.STORE, pattern=pattern,
+                                     stream_id=stream_id))
+            else:
+                is_fp = rng.random() < spec.fp_frac
+                if rng.random() < spec.longop_frac:
+                    kind = OpClass.FPMUL if is_fp else OpClass.IMUL
+                else:
+                    kind = OpClass.FPALU if is_fp else OpClass.IALU
+                ops.append(_StaticOp(pc, kind))
+            pc += 4
+        last_block = block == spec.blocks - 1
+        if last_block:
+            ops.append(_StaticOp(pc, OpClass.BRANCH,
+                                 taken_prob=1.0, target=code_base))
+        else:
+            ops.append(_StaticOp(pc, OpClass.BRANCH,
+                                 taken_prob=cond_taken, target=pc + 4))
+        pc += 4
+    return ops, n_streams
+
+
+class TraceGenerator:
+    """Generates the correct dynamic path for a :class:`ProgramProfile`."""
+
+    def __init__(self, profile: ProgramProfile, seed: int = 1) -> None:
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32 rather than hash(): stable across interpreter runs.
+        self._rng = random.Random((seed << 8) ^ zlib.crc32(profile.name.encode()))
+        self._phases = [_PhaseState(spec, i, random.Random(self._rng.random()))
+                        for i, spec in enumerate(profile.phases)]
+
+    # ------------------------------------------------------------------
+    # dependence synthesis
+
+    def _pick_srcs(self, state: _PhaseState, nsrcs: int) -> tuple[int, ...]:
+        """Pick source registers from recently written destinations.
+
+        The distance back in the ``recent`` ring follows the phase's
+        ``chain_depth``: depth 1 reads old (ready) values — wide ILP —
+        while larger depths mostly read the most recent value, producing
+        serial chains.
+        """
+        spec = state.spec
+        rng = self._rng
+        srcs = []
+        for __ in range(nsrcs):
+            if spec.chain_depth <= 1:
+                back = rng.randint(3, len(state.recent) - 1)
+            else:
+                # Fraction of reads that extend a serial chain; real code
+                # interleaves chains, so even chain-heavy programs read a
+                # just-produced value only part of the time.
+                serial_bias = (spec.chain_depth - 1) / (spec.chain_depth + 1)
+                if rng.random() < serial_bias:
+                    back = rng.randint(0, 1)
+                else:
+                    back = rng.randint(2, len(state.recent) - 1)
+            srcs.append(state.recent[-1 - back] if back < len(state.recent)
+                        else state.recent[0])
+        return tuple(srcs)
+
+    def _alloc_dst(self, state: _PhaseState, fp: bool) -> int:
+        pool = _FP_POOL if fp else _INT_POOL
+        if fp:
+            state.fp_cursor = (state.fp_cursor + 1) % len(pool)
+            dst = pool[state.fp_cursor]
+        else:
+            state.int_cursor = (state.int_cursor + 1) % len(pool)
+            dst = pool[state.int_cursor]
+        state.recent.append(dst)
+        if len(state.recent) > 12:
+            state.recent.pop(0)
+        return dst
+
+    # ------------------------------------------------------------------
+    # address synthesis
+
+    def _address_for(self, state: _PhaseState, pattern: int,
+                     stream_id: int = -1) -> tuple[int, tuple[int, ...]]:
+        """Effective address and *address-generation* source registers."""
+        mem = state.spec.mem
+        base = state.data_base
+        rng = self._rng
+        if pattern == _PAT_STRIDE:    # per-slot sub-stream
+            slot = max(0, stream_id)
+            addr = (base + slot * (state.stream_partition + state.stream_skew)
+                    + state.stream_pos[slot])
+            state.stream_pos[slot] = ((state.stream_pos[slot]
+                                       + mem.stride_bytes)
+                                      % state.stream_partition)
+            return addr, (_STRIDE_REG,)
+        if pattern == _PAT_CHASE:     # depends on previous chase load
+            offset = rng.randrange(0, mem.working_set_bytes, 8)
+            return base + 0x1000_0000 + offset, (_CHASE_REG,)
+        if pattern == _PAT_MIXED:
+            weights = mem.weights()
+            scatter_p = weights[2] / max(1e-12, weights[2] + weights[3])
+            pattern = _PAT_SCATTER if rng.random() < scatter_p else _PAT_HOT
+        if pattern == _PAT_SCATTER:
+            # Array-indexed scatter: the address comes from an induction
+            # variable, not from a recent computation, so scatter loads
+            # are mutually independent — the MLP the window harvests.
+            offset = rng.randrange(0, mem.working_set_bytes, 8)
+            return base + 0x1000_0000 + offset, (_STRIDE_REG,)
+        offset = rng.randrange(0, mem.hot_set_bytes, 8)   # hot
+        return base + 0x2000_0000 + offset, self._pick_srcs(state, 1)
+
+    # ------------------------------------------------------------------
+    # dynamic emission
+
+    def generate(self, n_ops: int) -> Trace:
+        """Emit ``n_ops`` dynamic micro-ops of the correct path."""
+        ops: list[MicroOp] = []
+        phase_idx = 0
+        while len(ops) < n_ops:
+            state = self._phases[phase_idx % len(self._phases)]
+            budget = min(state.spec.length, n_ops - len(ops))
+            self._run_phase(state, budget, ops)
+            phase_idx += 1
+        first = self._phases[0]
+        weights = first.spec.mem.weights()
+        hot_base = first.data_base + 0x2000_0000
+        hot_size = max(first.spec.mem.hot_set_bytes, 4096)
+        if weights[1] + weights[2] > 0:
+            # Wrong paths stray into the same cold working set the
+            # program scatters over.
+            cold_base = first.data_base + 0x1000_0000
+            cold_size = max(first.spec.mem.working_set_bytes, 4096)
+        else:
+            # Cache-resident program: it HAS no cold data, so wrong paths
+            # stay within the hot set (otherwise the synthesizer would
+            # manufacture L2 misses the program cannot produce).
+            cold_base, cold_size = hot_base, hot_size
+        return Trace(self.profile.name, ops[:n_ops], self.seed,
+                     data_base=cold_base, data_size=cold_size,
+                     warm_regions=self._warm_regions(),
+                     hot_base=hot_base, hot_size=hot_size)
+
+    def _warm_regions(self) -> list[tuple[int, int, bool]]:
+        """(base, bytes, l1_too) regions for checkpoint-style cache warming.
+
+        A short simulated sample cannot organically warm a multi-megabyte
+        resident set the way 16G skipped instructions do in the paper, so
+        the hot sets, cache-resident scatter sets and cache-resident
+        streams are pre-installed (see ``Processor.prewarm``).  Streams
+        larger than the L2 stay cold — cold misses *are* their steady
+        state.
+        """
+        regions: list[tuple[int, int, bool]] = []
+        for state in self._phases:
+            mem = state.spec.mem
+            weights = mem.weights()
+            if weights[3] > 0:
+                regions.append((state.data_base + 0x2000_0000,
+                                mem.hot_set_bytes, True))
+            if weights[1] + weights[2] > 0:
+                regions.append((state.data_base + 0x1000_0000,
+                                mem.working_set_bytes, False))
+            if weights[0] > 0 or mem.store_stream_frac:
+                if mem.stream_bytes <= 2 * 1024 * 1024:
+                    regions.append((state.data_base, mem.stream_bytes, False))
+        return regions
+
+    def _run_phase(self, state: _PhaseState, budget: int,
+                   out: list[MicroOp]) -> None:
+        rng = self._rng
+        emitted = 0
+        static_ops = state.static_ops
+        n_static = len(static_ops)
+        idx = 0
+        while emitted < budget:
+            template = static_ops[idx]
+            kind = template.kind
+            if kind is OpClass.BRANCH:
+                taken = rng.random() < template.taken_prob
+                target = template.target if taken else template.pc + 4
+                out.append(MicroOp(template.pc, OpClass.BRANCH,
+                                   srcs=self._pick_srcs(state, 1),
+                                   taken=taken, target=target))
+                # Follow actual control flow through the static loop.
+                if taken and template.target == state.code_base:
+                    idx = 0
+                else:
+                    idx = (idx + 1) % n_static
+            elif kind is OpClass.LOAD:
+                addr, addr_srcs = self._address_for(state, template.pattern,
+                                                    template.stream_id)
+                dst = (_CHASE_REG if template.pattern == _PAT_CHASE
+                       else self._alloc_dst(state, fp=False))
+                out.append(MicroOp(template.pc, OpClass.LOAD, dst=dst,
+                                   srcs=addr_srcs, addr=addr, size=8))
+                idx = (idx + 1) % n_static
+            elif kind is OpClass.STORE:
+                addr, addr_srcs = self._address_for(state, template.pattern,
+                                                    template.stream_id)
+                data_src = self._pick_srcs(state, 1)
+                out.append(MicroOp(template.pc, OpClass.STORE,
+                                   srcs=addr_srcs + data_src, addr=addr,
+                                   size=8))
+                idx = (idx + 1) % n_static
+            else:
+                fp = kind in (OpClass.FPALU, OpClass.FPMUL, OpClass.FPDIV)
+                srcs = self._pick_srcs(state, 2)
+                dst = self._alloc_dst(state, fp)
+                out.append(MicroOp(template.pc, kind, dst=dst, srcs=srcs))
+                idx = (idx + 1) % n_static
+            emitted += 1
+
+
+def generate_trace(profile: ProgramProfile, n_ops: int, seed: int = 1) -> Trace:
+    """Convenience wrapper: build a generator and emit ``n_ops``."""
+    return TraceGenerator(profile, seed).generate(n_ops)

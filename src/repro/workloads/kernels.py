@@ -1,0 +1,152 @@
+"""Parameterised micro-kernel workloads.
+
+The SPEC profiles of :mod:`repro.workloads.profiles` answer "does the
+paper reproduce?"; these kernels answer "*when* does the mechanism pay?"
+Each factory returns a normal :class:`ProgramProfile`, so kernels run
+through the same `generate_trace` / `simulate` pipeline and can be swept
+along a single axis (working-set size, stride, chase depth, phase
+period, branch entropy).
+
+Example — find the working-set size where resizing starts winning::
+
+    from repro.workloads.kernels import random_access_kernel
+    for mb in (0.5, 1, 2, 4, 8, 16):
+        prof = random_access_kernel(working_set_mb=mb)
+        ...
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import (
+    MemoryBehavior,
+    PhaseSpec,
+    ProgramProfile,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def stream_kernel(array_mb: float = 64, stride_bytes: int = 16,
+                  load_frac: float = 0.32, store_frac: float = 0.12,
+                  name: str = "k_stream") -> ProgramProfile:
+    """Sequential array walk (libquantum/STREAM-like).
+
+    MLP is plentiful and prefetcher-visible; the interesting knob is
+    ``stride_bytes`` — it sets both the line-demand rate and how far the
+    16-data prefetcher can see.
+    """
+    mem = MemoryBehavior(stride=0.92, hot=0.08,
+                         stream_bytes=int(array_mb * MB),
+                         stride_bytes=stride_bytes,
+                         hot_set_bytes=8 * KB)
+    phase = PhaseSpec(name="stream", length=8000, load_frac=load_frac,
+                      store_frac=store_frac, chain_depth=1,
+                      noisy_branch_frac=0.0, bias_taken_prob=0.0,
+                      blocks=2, block_ops=16, mem=mem)
+    return ProgramProfile(name=name, category="int", memory_intensive=True,
+                          phases=(phase,))
+
+
+def pointer_chase_kernel(working_set_mb: float = 16,
+                         chase_frac: float = 0.15,
+                         name: str = "k_chase") -> ProgramProfile:
+    """Serial pointer chasing (linked-list walk).
+
+    Each chase load's address depends on the previous one, so misses
+    cannot overlap — the anti-MLP workload.  A window of any size is
+    bounded by the chase chain; ``chase_frac`` dials how dominant it is.
+    """
+    mem = MemoryBehavior(chase=chase_frac, hot=1.0 - chase_frac,
+                         working_set_bytes=int(working_set_mb * MB),
+                         hot_set_bytes=16 * KB)
+    phase = PhaseSpec(name="chase", length=6000, load_frac=0.30,
+                      store_frac=0.05, chain_depth=2,
+                      noisy_branch_frac=0.02, mem=mem)
+    return ProgramProfile(name=name, category="int", memory_intensive=True,
+                          phases=(phase,))
+
+
+def random_access_kernel(working_set_mb: float = 16,
+                         scatter_frac: float = 0.4,
+                         name: str = "k_gups") -> ProgramProfile:
+    """Independent random accesses over a working set (GUPS-like).
+
+    Prefetcher-proof but fully overlappable: the window size directly
+    sets the achieved MLP.  Sweep ``working_set_mb`` through the L2 size
+    to watch the mechanism switch on.
+    """
+    mem = MemoryBehavior(scatter=scatter_frac, hot=1.0 - scatter_frac,
+                         working_set_bytes=int(working_set_mb * MB),
+                         hot_set_bytes=16 * KB)
+    phase = PhaseSpec(name="gups", length=6000, load_frac=0.32,
+                      store_frac=0.08, chain_depth=1,
+                      noisy_branch_frac=0.01, mem=mem)
+    return ProgramProfile(name=name, category="int", memory_intensive=True,
+                          phases=(phase,))
+
+
+def stencil_kernel(grid_mb: float = 24, name: str = "k_stencil"
+                   ) -> ProgramProfile:
+    """Structured-grid sweep (GemsFDTD/zeusmp-like): several parallel
+    streams plus neighbour reuse from the cache."""
+    mem = MemoryBehavior(stride=0.30, scatter=0.05, hot=0.65,
+                         stream_bytes=int(grid_mb * MB), stride_bytes=24,
+                         working_set_bytes=int(grid_mb * MB),
+                         hot_set_bytes=32 * KB)
+    phase = PhaseSpec(name="stencil", length=7000, load_frac=0.32,
+                      store_frac=0.14, fp_frac=0.75, chain_depth=2,
+                      noisy_branch_frac=0.0, longop_frac=0.15, mem=mem)
+    return ProgramProfile(name=name, category="fp", memory_intensive=True,
+                          phases=(phase,))
+
+
+def compute_kernel(chain_depth: int = 2, branch_entropy: float = 0.05,
+                   fp_frac: float = 0.0,
+                   name: str = "k_compute") -> ProgramProfile:
+    """Cache-resident computation: pure ILP, no exploitable MLP.
+
+    ``chain_depth`` dials the serial dependence density (what the
+    pipelined IQ hurts); ``branch_entropy`` the misprediction rate.
+    """
+    phase = PhaseSpec(name="compute", length=6000, load_frac=0.24,
+                      store_frac=0.08, fp_frac=fp_frac,
+                      chain_depth=chain_depth,
+                      noisy_branch_frac=branch_entropy,
+                      mem=MemoryBehavior(hot=1.0, hot_set_bytes=24 * KB))
+    return ProgramProfile(name=name, category="int", memory_intensive=False,
+                          phases=(phase,))
+
+
+def phased_kernel(memory_ops: int = 2500, compute_ops: int = 2500,
+                  working_set_mb: float = 16,
+                  name: str = "k_phased") -> ProgramProfile:
+    """Alternating memory/compute phases (omnetpp-like).
+
+    The workload where adaptivity beats *every* fixed window: set the
+    phase lengths against the shrink timer (300 cycles) to study the
+    controller's reaction time.
+    """
+    mem_phase = PhaseSpec(
+        name="mem", length=memory_ops, load_frac=0.30, store_frac=0.08,
+        chain_depth=2, noisy_branch_frac=0.05,
+        mem=MemoryBehavior(scatter=0.30, hot=0.70,
+                           working_set_bytes=int(working_set_mb * MB),
+                           hot_set_bytes=16 * KB))
+    comp_phase = PhaseSpec(
+        name="comp", length=compute_ops, load_frac=0.24, store_frac=0.08,
+        chain_depth=2, noisy_branch_frac=0.05,
+        mem=MemoryBehavior(hot=1.0, hot_set_bytes=16 * KB))
+    return ProgramProfile(name=name, category="int", memory_intensive=True,
+                          phases=(mem_phase, comp_phase))
+
+
+#: name -> zero-argument factory, for enumeration in tools and tests
+KERNELS = {
+    "stream": stream_kernel,
+    "chase": pointer_chase_kernel,
+    "gups": random_access_kernel,
+    "stencil": stencil_kernel,
+    "compute": compute_kernel,
+    "phased": phased_kernel,
+}

@@ -1,0 +1,367 @@
+"""Synthetic profiles for the 28 SPEC CPU2006 programs of Table 3.
+
+Each profile is tuned along the axes the paper's mechanism responds to:
+
+* **average load latency** — the memory-intensive / compute-intensive
+  split of Table 3 (threshold 10 cycles);
+* **access pattern** — streaming (libquantum, lbm, leslie3d, GemsFDTD),
+  pointer-chasing (mcf, omnetpp, xalancbmk), scattered (milc, sphinx3),
+  or cache-resident (the compute set);
+* **L2 miss clustering** — phase alternation (soplex's Figure 4
+  histogram; omnetpp's "well mixed" compute/memory phases that make
+  dynamic resizing beat every fixed level);
+* **branch predictability** — Table 5 misprediction distances.  With a
+  branch every ~13 micro-ops, a Table 5 distance ``D`` needs a per-branch
+  misprediction rate of ``13/D``; predictable branches contribute their
+  ``bias`` taken-probability and noisy branches ~50%, so
+  ``noisy = 2 * (13/D - bias)`` (clamped at 0).
+
+The ``paper_load_latency`` recorded on each profile is the Table 3
+reference value, reported side by side with measured values by
+``experiments/table3_load_latency.py``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import MemoryBehavior, PhaseSpec, ProgramProfile
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _phase(name: str, length: int, *, load: float = 0.25, store: float = 0.1,
+           fp: float = 0.0, chain: int = 2, noisy: float = 0.05,
+           bias: float = 0.002, longop: float = 0.08, blocks: int = 4,
+           block_ops: int = 12, mem: MemoryBehavior | None = None) -> PhaseSpec:
+    return PhaseSpec(name=name, length=length, load_frac=load,
+                     store_frac=store, fp_frac=fp, chain_depth=chain,
+                     noisy_branch_frac=noisy, bias_taken_prob=bias,
+                     longop_frac=longop, blocks=blocks, block_ops=block_ops,
+                     mem=mem if mem is not None else MemoryBehavior())
+
+
+def _hot(kbytes: int = 8) -> MemoryBehavior:
+    """Cache-resident behaviour for compute phases."""
+    return MemoryBehavior(hot=1.0, hot_set_bytes=kbytes * KB)
+
+
+def _streaming(stream_mb: int, stride: int = 8, extra_scatter: float = 0.0,
+               ws_mb: int = 4) -> MemoryBehavior:
+    return MemoryBehavior(stride=0.8 - extra_scatter, scatter=extra_scatter,
+                          hot=0.2, stream_bytes=stream_mb * MB,
+                          stride_bytes=stride,
+                          working_set_bytes=ws_mb * MB)
+
+
+def _scatter(ws_mb: float, weight: float = 0.6, chase: float = 0.0) -> MemoryBehavior:
+    return MemoryBehavior(scatter=weight, chase=chase,
+                          hot=max(0.0, 1.0 - weight - chase),
+                          working_set_bytes=int(ws_mb * MB))
+
+
+# ---------------------------------------------------------------------------
+# memory-intensive programs (average load latency > 10 cycles in Table 3)
+
+_MEM_PROFILES = (
+    ProgramProfile(
+        name="hmmer", category="int", memory_intensive=True,
+        paper_load_latency=15.0,
+        phases=(
+            _phase("scan", 6000, load=0.30, store=0.12, chain=1, noisy=0.01,
+                   mem=MemoryBehavior(scatter=0.055, hot=0.945,
+                                      working_set_bytes=3 * MB,
+                                      hot_set_bytes=24 * KB)),
+        )),
+    ProgramProfile(
+        name="libquantum", category="int", memory_intensive=True,
+        paper_load_latency=247.0,
+        phases=(
+            _phase("gatestream", 8000, load=0.33, store=0.15, chain=1,
+                   noisy=0.0, bias=0.0, blocks=2, block_ops=16,
+                   mem=MemoryBehavior(stride=0.95, hot=0.05,
+                                      stream_bytes=64 * MB, stride_bytes=12,
+                                      hot_set_bytes=4 * KB)),
+        )),
+    ProgramProfile(
+        name="mcf", category="int", memory_intensive=True,
+        paper_load_latency=52.0,
+        phases=(
+            _phase("simplex", 6000, load=0.30, store=0.08, chain=3, noisy=0.08,
+                   mem=MemoryBehavior(scatter=0.07, chase=0.07, hot=0.86,
+                                      working_set_bytes=16 * MB,
+                                      hot_set_bytes=768 * KB)),
+            _phase("update", 3000, load=0.22, store=0.12, chain=2, noisy=0.05,
+                   mem=MemoryBehavior(scatter=0.08, chase=0.04, hot=0.88,
+                                      working_set_bytes=8 * MB,
+                                      hot_set_bytes=512 * KB)),
+        )),
+    ProgramProfile(
+        name="omnetpp", category="int", memory_intensive=True,
+        paper_load_latency=42.0,
+        phases=(
+            _phase("events", 2500, load=0.30, store=0.10, chain=2, noisy=0.14,
+                   mem=_scatter(16, weight=0.20, chase=0.02)),
+            _phase("bookkeeping", 2500, load=0.22, store=0.10, chain=2,
+                   noisy=0.14, mem=_hot(16)),
+        )),
+    ProgramProfile(
+        name="xalancbmk", category="int", memory_intensive=True,
+        paper_load_latency=74.0,
+        phases=(
+            _phase("treewalk", 5000, load=0.32, store=0.08, chain=2, noisy=0.04,
+                   mem=_scatter(24, weight=0.21, chase=0.005)),
+            _phase("emit", 2000, load=0.24, store=0.14, chain=1, noisy=0.04,
+                   mem=_hot(16)),
+        )),
+    ProgramProfile(
+        name="GemsFDTD", category="fp", memory_intensive=True,
+        paper_load_latency=32.0,
+        phases=(
+            _phase("fieldupdate", 7000, load=0.32, store=0.16, fp=0.7, chain=2,
+                   noisy=0.0, bias=0.0013,
+                   mem=MemoryBehavior(stride=0.12, scatter=0.07, hot=0.81,
+                                      stream_bytes=48 * MB, stride_bytes=16,
+                                      working_set_bytes=16 * MB,
+                                      hot_set_bytes=256 * KB)),
+        )),
+    ProgramProfile(
+        name="lbm", category="fp", memory_intensive=True,
+        paper_load_latency=14.0,
+        phases=(
+            _phase("collide", 8000, load=0.30, store=0.18, fp=0.75, chain=1,
+                   noisy=0.0, bias=0.0004, blocks=2, block_ops=20,
+                   mem=MemoryBehavior(stride=0.02, scatter=0.04, hot=0.94,
+                                      stream_bytes=48 * MB, stride_bytes=8,
+                                      working_set_bytes=6 * MB,
+                                      hot_set_bytes=24 * KB,
+                                      store_stream_frac=0.9)),
+        )),
+    ProgramProfile(
+        name="leslie3d", category="fp", memory_intensive=True,
+        paper_load_latency=72.0,
+        phases=(
+            _phase("sweep", 7000, load=0.33, store=0.12, fp=0.7, chain=2,
+                   noisy=0.012, mem=MemoryBehavior(stride=0.35, scatter=0.18, hot=0.47,
+                                      stream_bytes=48 * MB, stride_bytes=16,
+                                      working_set_bytes=24 * MB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="milc", category="fp", memory_intensive=True,
+        paper_load_latency=12.0,
+        phases=(
+            _phase("su3", 8000, load=0.24, store=0.10, fp=0.8, chain=2,
+                   noisy=0.0, bias=0.0, longop=0.2,
+                   mem=MemoryBehavior(scatter=0.02, hot=0.98,
+                                      working_set_bytes=16 * MB,
+                                      hot_set_bytes=128 * KB)),
+        )),
+    ProgramProfile(
+        name="soplex", category="fp", memory_intensive=True,
+        paper_load_latency=36.0,
+        phases=(
+            _phase("pricing", 4000, load=0.32, store=0.08, fp=0.4, chain=2,
+                   noisy=0.165, mem=_scatter(12, weight=0.17, chase=0.01)),
+            _phase("pivot", 2500, load=0.22, store=0.10, fp=0.4, chain=2,
+                   noisy=0.165, mem=_hot(24)),
+        )),
+    ProgramProfile(
+        name="sphinx3", category="fp", memory_intensive=True,
+        paper_load_latency=51.0,
+        phases=(
+            _phase("gauss", 5000, load=0.33, store=0.06, fp=0.7, chain=2,
+                   noisy=0.075, mem=_scatter(16, weight=0.21)),
+            _phase("prune", 2000, load=0.24, store=0.08, fp=0.3, chain=2,
+                   noisy=0.075, mem=_hot(24)),
+        )),
+)
+
+# ---------------------------------------------------------------------------
+# compute-intensive programs (average load latency <= 10 cycles in Table 3)
+
+_COMP_PROFILES = (
+    ProgramProfile(
+        name="astar", category="int", memory_intensive=False,
+        paper_load_latency=7.0,
+        phases=(
+            _phase("pathfind", 6000, load=0.28, store=0.08, chain=3, noisy=0.12,
+                   mem=MemoryBehavior(scatter=0.05, chase=0.03, hot=0.92,
+                                      working_set_bytes=1280 * KB,
+                                      hot_set_bytes=24 * KB)),
+        )),
+    ProgramProfile(
+        name="bzip2", category="int", memory_intensive=False,
+        paper_load_latency=3.0,
+        phases=(
+            _phase("sort", 6000, load=0.28, store=0.12, chain=2, noisy=0.06,
+                   mem=MemoryBehavior(scatter=0.06, hot=0.94,
+                                      working_set_bytes=768 * KB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="gcc", category="int", memory_intensive=False,
+        paper_load_latency=6.0,
+        phases=(
+            _phase("parse", 3500, load=0.26, store=0.12, chain=2, noisy=0.001,
+                   mem=MemoryBehavior(scatter=0.10, hot=0.90,
+                                      working_set_bytes=1 * MB,
+                                      hot_set_bytes=32 * KB)),
+            _phase("optimize", 3500, load=0.24, store=0.10, chain=3,
+                   noisy=0.001, mem=_hot(24)),
+        )),
+    ProgramProfile(
+        name="gobmk", category="int", memory_intensive=False,
+        paper_load_latency=3.0,
+        phases=(
+            _phase("search", 6000, load=0.24, store=0.10, chain=2, noisy=0.36,
+                   mem=_hot(24)),
+        )),
+    ProgramProfile(
+        name="h264ref", category="int", memory_intensive=False,
+        paper_load_latency=3.0,
+        phases=(
+            _phase("motionest", 6000, load=0.30, store=0.10, chain=1,
+                   noisy=0.02, mem=MemoryBehavior(stride=0.30, hot=0.70,
+                                                  stream_bytes=256 * KB,
+                                                  stride_bytes=8,
+                                                  hot_set_bytes=24 * KB)),
+        )),
+    ProgramProfile(
+        name="perlbench", category="int", memory_intensive=False,
+        paper_load_latency=4.0,
+        phases=(
+            _phase("interp", 6000, load=0.28, store=0.14, chain=2, noisy=0.05,
+                   mem=MemoryBehavior(scatter=0.05, hot=0.95,
+                                      working_set_bytes=1 * MB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="sjeng", category="int", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("alphabeta", 6000, load=0.22, store=0.08, chain=2,
+                   noisy=0.22, mem=_hot(16)),
+        )),
+    ProgramProfile(
+        name="bwaves", category="fp", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("blockkernel", 6000, load=0.30, store=0.10, fp=0.8,
+                   chain=1, noisy=0.15, longop=0.15,
+                   mem=MemoryBehavior(stride=0.40, hot=0.60,
+                                      stream_bytes=192 * KB, stride_bytes=8,
+                                      hot_set_bytes=24 * KB)),
+        )),
+    ProgramProfile(
+        name="cactusADM", category="fp", memory_intensive=False,
+        paper_load_latency=5.0,
+        phases=(
+            _phase("stencil", 6000, load=0.30, store=0.12, fp=0.8, chain=2,
+                   noisy=0.0, longop=0.15,
+                   mem=MemoryBehavior(stride=0.35, scatter=0.04, hot=0.61,
+                                      stream_bytes=768 * KB, stride_bytes=16,
+                                      working_set_bytes=512 * KB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="calculix", category="fp", memory_intensive=False,
+        paper_load_latency=6.0,
+        phases=(
+            _phase("solve", 6000, load=0.28, store=0.10, fp=0.7, chain=3,
+                   noisy=0.01, longop=0.18,
+                   mem=MemoryBehavior(scatter=0.08, hot=0.92,
+                                      working_set_bytes=1280 * KB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="dealII", category="fp", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("assemble", 6000, load=0.28, store=0.10, fp=0.7, chain=2,
+                   noisy=0.016, longop=0.12, mem=_hot(32)),
+        )),
+    ProgramProfile(
+        name="gamess", category="fp", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("integrals", 6000, load=0.26, store=0.08, fp=0.85, chain=2,
+                   noisy=0.01, longop=0.22, mem=_hot(24)),
+        )),
+    ProgramProfile(
+        name="gromacs", category="fp", memory_intensive=False,
+        paper_load_latency=5.0,
+        phases=(
+            _phase("forces", 6000, load=0.28, store=0.10, fp=0.75, chain=2,
+                   noisy=0.01, longop=0.18,
+                   mem=MemoryBehavior(scatter=0.06, hot=0.94,
+                                      working_set_bytes=1 * MB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+    ProgramProfile(
+        name="namd", category="fp", memory_intensive=False,
+        paper_load_latency=3.0,
+        phases=(
+            _phase("pairlists", 6000, load=0.30, store=0.08, fp=0.8, chain=1,
+                   noisy=0.005, longop=0.15, mem=_hot(32)),
+        )),
+    ProgramProfile(
+        name="povray", category="fp", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("raytrace", 6000, load=0.26, store=0.08, fp=0.7, chain=3,
+                   noisy=0.02, longop=0.2, mem=_hot(16)),
+        )),
+    ProgramProfile(
+        name="tonto", category="fp", memory_intensive=False,
+        paper_load_latency=2.0,
+        phases=(
+            _phase("scf", 6000, load=0.26, store=0.08, fp=0.85, chain=2,
+                   noisy=0.057, longop=0.2, mem=_hot(24)),
+        )),
+    ProgramProfile(
+        name="zeusmp", category="fp", memory_intensive=False,
+        paper_load_latency=6.0,
+        phases=(
+            _phase("hydro", 6000, load=0.30, store=0.12, fp=0.8, chain=2,
+                   noisy=0.005, longop=0.15,
+                   mem=MemoryBehavior(stride=0.30, scatter=0.008, hot=0.692,
+                                      stream_bytes=1280 * KB, stride_bytes=24,
+                                      working_set_bytes=8 * MB,
+                                      hot_set_bytes=32 * KB)),
+        )),
+)
+
+#: name -> profile, in Table 3 order (memory-intensive first).
+PROFILES: dict[str, ProgramProfile] = {
+    p.name: p for p in _MEM_PROFILES + _COMP_PROFILES}
+
+MEMORY_INTENSIVE: tuple[str, ...] = tuple(p.name for p in _MEM_PROFILES)
+COMPUTE_INTENSIVE: tuple[str, ...] = tuple(p.name for p in _COMP_PROFILES)
+
+#: The programs whose per-program bars the paper shows in Figure 7.
+SELECTED_MEMORY: tuple[str, ...] = (
+    "libquantum", "omnetpp", "GemsFDTD", "lbm", "leslie3d", "milc",
+    "soplex", "sphinx3")
+SELECTED_COMPUTE: tuple[str, ...] = (
+    "bwaves", "gcc", "gobmk", "sjeng", "dealII", "tonto")
+
+
+def profile(name: str) -> ProgramProfile:
+    """Look up a profile by SPEC2006 program name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {', '.join(PROFILES)}") from None
+
+
+def program_names(memory_only: bool = False,
+                  compute_only: bool = False) -> tuple[str, ...]:
+    """All program names, optionally restricted to one category."""
+    if memory_only and compute_only:
+        raise ValueError("choose at most one restriction")
+    if memory_only:
+        return MEMORY_INTENSIVE
+    if compute_only:
+        return COMPUTE_INTENSIVE
+    return MEMORY_INTENSIVE + COMPUTE_INTENSIVE

@@ -1,0 +1,113 @@
+"""Dynamic traces and wrong-path instruction synthesis.
+
+A :class:`Trace` is the correct dynamic path of a program: a list of
+:class:`~repro.isa.MicroOp` records.  The pipeline's front end walks it in
+order; control flow only affects *timing* (mispredictions redirect fetch
+onto a synthesized wrong path until the branch resolves).
+
+Wrong-path micro-ops are generated deterministically from the fetch PC and
+a per-trace seed, so runs are reproducible and wrong-path loads pollute
+the caches from the same data regions the program uses — the effect
+studied in Figure 11 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.isa import MicroOp, OpClass, REG_INVALID
+
+
+def _mix(x: int) -> int:
+    """Cheap deterministic 64-bit mixer (splitmix64 finaliser)."""
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class WrongPathSynthesizer:
+    """Deterministic generator of wrong-path micro-ops.
+
+    Roughly one in five wrong-path micro-ops is a load; the rest are ALU
+    operations and the occasional always-taken branch so wrong-path fetch
+    keeps moving through the (synthetic) code region.
+
+    A wrong path executes *nearby* code with slightly wrong operands, so
+    most of its loads touch data the correct path keeps warm (the hot
+    region) and only a minority stray into the cold working set — this
+    keeps wrong-path cache pollution at the modest levels the paper
+    observes in Figure 11.
+    """
+
+    LOAD_FRACTION = 5       # 1-in-5 ops is a load
+    BRANCH_FRACTION = 16    # 1-in-16 ops is a branch
+    COLD_FRACTION = 64      # 1-in-64 wrong-path loads strays to cold data
+
+    def __init__(self, seed: int, data_base: int, data_size: int,
+                 hot_base: int | None = None, hot_size: int = 8192,
+                 line_bytes: int = 64) -> None:
+        self.seed = seed & 0xFFFFFFFFFFFFFFFF
+        self.data_base = data_base
+        self.data_size = max(data_size, line_bytes)
+        self.hot_base = data_base if hot_base is None else hot_base
+        self.hot_size = max(hot_size, line_bytes)
+        self.line_bytes = line_bytes
+
+    def op_at(self, pc: int, k: int) -> MicroOp:
+        """The ``k``-th wrong-path micro-op fetched from around ``pc``."""
+        h = _mix(self.seed ^ (pc << 20) ^ k)
+        fake_pc = pc + 4 * (k + 1)
+        reg = 1 + (h & 15)
+        src = 1 + ((h >> 4) & 15)
+        if h % self.LOAD_FRACTION == 0:
+            if (h >> 6) % self.COLD_FRACTION == 0:
+                addr = self.data_base + (h >> 8) % self.data_size
+            else:
+                addr = self.hot_base + (h >> 8) % self.hot_size
+            addr -= addr % 8
+            return MicroOp(fake_pc, OpClass.LOAD, dst=reg, srcs=(src,),
+                           addr=addr, size=8)
+        if h % self.BRANCH_FRACTION == 1:
+            return MicroOp(fake_pc, OpClass.BRANCH, srcs=(src,),
+                           taken=True, target=fake_pc + 4)
+        return MicroOp(fake_pc, OpClass.IALU, dst=reg, srcs=(src,))
+
+
+class Trace:
+    """The correct dynamic path of one synthetic program run."""
+
+    def __init__(self, name: str, ops: list[MicroOp], seed: int,
+                 data_base: int, data_size: int,
+                 warm_regions: list[tuple[int, int, bool]] | None = None,
+                 hot_base: int | None = None, hot_size: int = 8192) -> None:
+        self.name = name
+        self.ops = ops
+        self.seed = seed
+        self.data_base = data_base
+        self.data_size = data_size
+        #: (base, bytes, l1_too) regions to pre-install in the caches,
+        #: substituting for the paper's 16G-instruction warmup skip.
+        self.warm_regions = warm_regions or []
+        self.wrong_path = WrongPathSynthesizer(seed ^ 0xBADC0DE,
+                                               data_base, data_size,
+                                               hot_base=hot_base,
+                                               hot_size=hot_size)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, idx: int) -> MicroOp:
+        return self.ops[idx]
+
+    def op_counts(self) -> dict[str, int]:
+        """Histogram of op classes, for sanity checks and reports."""
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            key = op.op.name
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def load_fraction(self) -> float:
+        """Fraction of trace micro-ops that are loads."""
+        if not self.ops:
+            return 0.0
+        loads = sum(1 for op in self.ops if op.op is OpClass.LOAD)
+        return loads / len(self.ops)

@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the test suite.
+
+Unit tests construct micro-op traces by hand (``make_trace``) and drive
+:class:`repro.pipeline.Processor` directly — no prewarm, no generator —
+so the timing they assert on is fully determined by the ops they wrote.
+Integration tests use small generated workloads through session-scoped
+fixtures so expensive simulations run once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProcessorConfig, ResourceLevel, ModelKind
+from repro.isa import MicroOp, OpClass, REG_INVALID
+from repro.pipeline import Processor
+from repro.workloads import Trace, generate_trace, profile
+
+CODE_BASE = 0x40_0000
+DATA_BASE = 0x5000_0000
+
+
+def make_trace(ops, name="unit", data_base=DATA_BASE, data_size=1 << 20):
+    """Wrap a hand-written op list into a Trace."""
+    return Trace(name, list(ops), seed=7, data_base=data_base,
+                 data_size=data_size)
+
+
+def ialu(i, dst, srcs=()):
+    return MicroOp(CODE_BASE + 4 * i, OpClass.IALU, dst=dst,
+                   srcs=tuple(srcs))
+
+
+def load(i, dst, addr, srcs=()):
+    return MicroOp(CODE_BASE + 4 * i, OpClass.LOAD, dst=dst,
+                   srcs=tuple(srcs), addr=addr, size=8)
+
+
+def store(i, addr, srcs=()):
+    return MicroOp(CODE_BASE + 4 * i, OpClass.STORE, srcs=tuple(srcs),
+                   addr=addr, size=8)
+
+
+def branch(i, taken, target=None, srcs=()):
+    pc = CODE_BASE + 4 * i
+    return MicroOp(pc, OpClass.BRANCH, srcs=tuple(srcs), taken=taken,
+                   target=target if target is not None else pc + 4)
+
+
+def warm_icache(proc: Processor, lo: int = CODE_BASE,
+                hi: int = CODE_BASE + 0x8000) -> None:
+    """Pre-install the code region so unit tests measure the back end,
+    not cold instruction fetch."""
+    line = proc.config.l1i.line_bytes
+    for addr in range(lo, hi, line):
+        proc.hierarchy.l1i.install(addr, ready_at=0)
+
+
+def run_ops(ops, config: ProcessorConfig | None = None,
+            max_cycles: int = 500_000) -> Processor:
+    """Run a hand-written op list to completion; returns the processor.
+
+    The I-cache is prewarmed over the code region so timings reflect the
+    back end under test rather than cold instruction fetch.
+    """
+    proc = Processor(config or ProcessorConfig(), make_trace(ops))
+    warm_icache(proc)
+    proc.run(until_committed=len(ops), max_cycles=max_cycles)
+    return proc
+
+
+def single_depth_levels(depth: int) -> tuple[ResourceLevel, ...]:
+    """A one-level table with a chosen IQ pipeline depth, to isolate the
+    back-to-back issue penalty from everything else."""
+    return (ResourceLevel(iq_entries=64, rob_entries=128, lsq_entries=64,
+                          iq_depth=depth, rob_depth=1, lsq_depth=1),)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace():
+    return generate_trace(profile("gcc"), n_ops=9_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def libquantum_trace():
+    return generate_trace(profile("libquantum"), n_ops=9_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def omnetpp_trace():
+    return generate_trace(profile("omnetpp"), n_ops=9_000, seed=3)

@@ -1,0 +1,87 @@
+"""CPI stack analysis."""
+
+import pytest
+
+from repro.analysis import CPIStack, compare_cpi_stacks, cpi_stack, render_cpi_stack
+from repro.config import base_config, dynamic_config, fixed_config
+from repro.pipeline import simulate
+from repro.workloads import generate_trace, profile
+
+from tests.conftest import DATA_BASE, ialu, load, run_ops
+
+
+@pytest.fixture(scope="module")
+def leslie_runs():
+    trace = generate_trace(profile("leslie3d"), n_ops=9000, seed=3)
+    base = simulate(base_config(), trace, warmup=2000, measure=6000)
+    dyn = simulate(dynamic_config(3), trace, warmup=2000, measure=6000)
+    return base, dyn
+
+
+class TestDecomposition:
+    def test_components_sum_to_total(self, leslie_runs):
+        base, __ = leslie_runs
+        stack = cpi_stack(base)
+        assert sum(stack.components.values()) == \
+            pytest.approx(stack.total, rel=0.02)
+
+    def test_base_component_is_inverse_width(self, leslie_runs):
+        base, __ = leslie_runs
+        stack = cpi_stack(base)
+        assert stack.components["base"] == pytest.approx(0.25)
+
+    def test_requires_stats(self, leslie_runs):
+        base, __ = leslie_runs
+        stripped = type(base)(**{**base.__dict__, "stats": None})
+        with pytest.raises(ValueError):
+            cpi_stack(stripped)
+
+    def test_memory_program_dominated_by_dram(self, leslie_runs):
+        base, __ = leslie_runs
+        stack = cpi_stack(base)
+        assert stack.fraction("mem_dram") > 0.4
+        assert stack.memory_share() > 0.4
+
+    def test_window_attacks_dram_component(self, leslie_runs):
+        base, dyn = leslie_runs
+        dram_base = cpi_stack(base).components.get("mem_dram", 0)
+        dram_dyn = cpi_stack(dyn).components.get("mem_dram", 0)
+        assert dram_dyn < 0.75 * dram_base
+
+    def test_compute_program_has_tiny_dram_share(self):
+        trace = generate_trace(profile("gcc"), n_ops=9000, seed=3)
+        base = simulate(base_config(), trace, warmup=2000, measure=6000)
+        stack = cpi_stack(base)
+        assert stack.fraction("mem_dram") < 0.1
+
+    def test_dependence_chain_shows_as_deps(self):
+        ops = [ialu(0, dst=1)]
+        ops += [ialu(i, dst=1, srcs=(1,)) for i in range(1, 60)]
+        proc = run_ops(ops)
+        stack = cpi_stack(proc.result())
+        assert stack.fraction("deps") > 0.3
+
+    def test_single_miss_shows_as_dram(self):
+        ops = [load(0, dst=1, addr=DATA_BASE + 0x40000)]
+        ops += [ialu(1 + i, dst=2 + i % 4, srcs=(1,)) for i in range(10)]
+        proc = run_ops(ops)
+        stack = cpi_stack(proc.result())
+        assert stack.fraction("mem_dram") > 0.5
+
+
+class TestRendering:
+    def test_render(self, leslie_runs):
+        base, __ = leslie_runs
+        text = render_cpi_stack(cpi_stack(base))
+        assert "DRAM" in text and "cycles/uop" in text
+
+    def test_compare(self, leslie_runs):
+        base, dyn = leslie_runs
+        a, b = cpi_stack(base), cpi_stack(dyn)
+        b.model = "resizing"
+        text = compare_cpi_stacks([a, b])
+        assert "resizing" in text and "total CPI" in text
+
+    def test_empty_stack_fractions(self):
+        stack = CPIStack(program="x", model="y", total=0.0)
+        assert stack.fraction("mem_dram") == 0.0

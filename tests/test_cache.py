@@ -1,0 +1,126 @@
+"""Set-associative cache: placement, LRU, pending fills, eviction hook."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory import Cache
+
+
+def small_cache(assoc=2, sets=4, line=64, hook=None):
+    cfg = CacheConfig(size_bytes=assoc * sets * line, assoc=assoc,
+                      line_bytes=line, hit_latency=1)
+    return Cache(cfg, name="test", evict_hook=hook)
+
+
+class TestPlacement:
+    def test_line_addr(self):
+        c = small_cache()
+        assert c.line_addr(0) == 0
+        assert c.line_addr(63) == 0
+        assert c.line_addr(64) == 64
+        assert c.line_addr(130) == 128
+
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(0x100) is None
+        c.install(0x100, ready_at=0)
+        line = c.lookup(0x100)
+        assert line is not None and line.line_addr == 0x100
+
+    def test_same_line_shares_entry(self):
+        c = small_cache()
+        c.install(0x100, ready_at=0)
+        assert c.lookup(0x100 + 63) is not None
+
+    def test_install_existing_returns_resident(self):
+        c = small_cache()
+        first = c.install(0x100, ready_at=5)
+        second = c.install(0x100, ready_at=99)
+        assert first is second
+        assert second.ready_at == 5   # fill never downgrades
+
+    def test_contains_does_not_touch_lru(self):
+        c = small_cache(assoc=2, sets=1)
+        c.install(0x000, ready_at=0)
+        c.install(0x040, ready_at=0)
+        c.contains(0x000)             # must NOT refresh LRU
+        c.install(0x080, ready_at=0)  # evicts true LRU = 0x000
+        assert not c.contains(0x000)
+        assert c.contains(0x040)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        c = small_cache(assoc=2, sets=1)
+        c.install(0x000, ready_at=0)
+        c.install(0x040, ready_at=0)
+        c.lookup(0x000)               # refresh 0x000
+        c.install(0x080, ready_at=0)  # evicts 0x040
+        assert c.contains(0x000)
+        assert not c.contains(0x040)
+        assert c.evictions == 1
+
+    def test_eviction_hook_called(self):
+        victims = []
+        c = small_cache(assoc=1, sets=1, hook=victims.append)
+        c.install(0x000, ready_at=0)
+        c.install(0x040, ready_at=0)
+        assert len(victims) == 1 and victims[0].line_addr == 0x000
+
+    def test_invalidate_all_skips_hook(self):
+        victims = []
+        c = small_cache(hook=victims.append)
+        c.install(0x000, ready_at=0)
+        c.invalidate_all()
+        assert not victims
+        assert not c.contains(0x000)
+
+
+class TestStats:
+    def test_miss_rate(self):
+        c = small_cache()
+        assert c.miss_rate() == 0.0
+        c.hits, c.misses = 3, 1
+        assert c.miss_rate() == 0.25
+        assert c.accesses == 4
+
+    def test_resident_lines_iteration(self):
+        c = small_cache()
+        c.install(0x000, ready_at=0)
+        c.install(0x100, ready_at=0)
+        assert {l.line_addr for l in c.resident_lines()} == {0x000, 0x100}
+
+
+class TestLRUProperty:
+    @given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_assoc(self, accesses):
+        """Property: each set holds at most `assoc` lines, and the most
+        recently installed line is always resident."""
+        c = small_cache(assoc=2, sets=2)
+        for idx in accesses:
+            addr = idx * 64
+            c.install(addr, ready_at=0)
+            assert c.contains(addr)
+        for cset in c._sets:
+            assert len(cset) <= 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=3,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_hit_after_recent_install_within_assoc(self, indices):
+        """The last `assoc` distinct lines of a set are always present."""
+        assoc, sets = 4, 1
+        c = small_cache(assoc=assoc, sets=sets)
+        for idx in indices:
+            c.install(idx * 64, ready_at=0)
+        recent = []
+        for idx in reversed(indices):
+            if idx not in recent:
+                recent.append(idx)
+            if len(recent) == assoc:
+                break
+        for idx in recent:
+            assert c.contains(idx * 64)

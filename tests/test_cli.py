@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_levels(self, capsys):
+        assert main(["levels"]) == 0
+        out = capsys.readouterr().out
+        assert "256" in out and "512" in out
+
+    def test_programs(self, capsys):
+        assert main(["programs"]) == 0
+        out = capsys.readouterr().out
+        assert "libquantum" in out and "memory-intensive" in out
+        assert "sjeng" in out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "sjeng", "--model", "base",
+                     "--measure", "2000", "--warmup", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sjeng" in out and "IPC" in out
+
+    def test_simulate_dynamic_shows_residency(self, capsys):
+        main(["simulate", "sjeng", "--model", "dynamic",
+              "--measure", "2000", "--warmup", "500"])
+        assert "level residency" in capsys.readouterr().out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "doom"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_compare(self, capsys):
+        code = main(["compare", "povray", "--measure", "1500",
+                     "--warmup", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamic" in out and "runahead" in out and "1/EDP" in out

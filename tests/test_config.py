@@ -1,0 +1,152 @@
+"""Configuration: Table 1 / Table 2 encodings and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    LEVEL_TABLE,
+    LEVEL_TRANSITION_PENALTY,
+    CacheConfig,
+    ModelKind,
+    ProcessorConfig,
+    ResourceLevel,
+    base_config,
+    dynamic_config,
+    fixed_config,
+    ideal_config,
+    level_at,
+    runahead_config,
+)
+
+
+class TestLevelTable:
+    """Table 2 of the paper, verbatim."""
+
+    def test_three_levels(self):
+        assert len(LEVEL_TABLE) == 3
+
+    @pytest.mark.parametrize("level,iq,rob,lsq", [
+        (1, 64, 128, 64), (2, 160, 320, 160), (3, 256, 512, 256)])
+    def test_entries(self, level, iq, rob, lsq):
+        cfg = level_at(level)
+        assert (cfg.iq_entries, cfg.rob_entries, cfg.lsq_entries) == \
+            (iq, rob, lsq)
+
+    @pytest.mark.parametrize("level,depth", [(1, 1), (2, 2), (3, 2)])
+    def test_pipeline_depths(self, level, depth):
+        cfg = level_at(level)
+        assert cfg.iq_depth == depth
+        assert cfg.rob_depth == depth
+        assert cfg.lsq_depth == depth
+
+    def test_transition_penalty(self):
+        assert LEVEL_TRANSITION_PENALTY == 10
+
+    def test_sizes_monotone(self):
+        for a, b in zip(LEVEL_TABLE, LEVEL_TABLE[1:]):
+            assert b.iq_entries > a.iq_entries
+            assert b.rob_entries > a.rob_entries
+            assert b.lsq_entries > a.lsq_entries
+            assert b.iq_depth >= a.iq_depth
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            level_at(0)
+        with pytest.raises(ValueError):
+            level_at(4)
+
+    def test_extra_wakeup_delay(self):
+        assert level_at(1).extra_wakeup_delay == 0
+        assert level_at(2).extra_wakeup_delay == 1
+        assert level_at(3).extra_wakeup_delay == 1
+
+    def test_extra_branch_penalty(self):
+        assert level_at(1).extra_branch_penalty == 0
+        assert level_at(2).extra_branch_penalty == 2
+
+
+class TestResourceLevelValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            ResourceLevel(iq_entries=0, rob_entries=1, lsq_entries=1,
+                          iq_depth=1, rob_depth=1, lsq_depth=1)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ResourceLevel(iq_entries=4, rob_entries=4, lsq_entries=4,
+                          iq_depth=0, rob_depth=1, lsq_depth=1)
+
+
+class TestCacheConfig:
+    def test_table1_l2_geometry(self):
+        l2 = base_config().l2
+        assert l2.size_bytes == 2 * 1024 * 1024
+        assert l2.assoc == 4
+        assert l2.line_bytes == 64
+        assert l2.hit_latency == 12
+        assert l2.num_sets == 8192
+
+    def test_table1_l1d(self):
+        l1d = base_config().l1d
+        assert l1d.size_bytes == 64 * 1024
+        assert l1d.assoc == 2
+        assert l1d.line_bytes == 32
+        assert l1d.hit_latency == 2
+
+    def test_rejects_nonaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3, line_bytes=64,
+                        hit_latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * 4, assoc=4, line_bytes=64,
+                        hit_latency=1)
+
+
+class TestProcessorConfig:
+    def test_base_defaults_match_table1(self):
+        cfg = base_config()
+        assert cfg.width == 4
+        assert cfg.level == 1
+        assert cfg.branch.history_bits == 16
+        assert cfg.branch.pht_entries == 64 * 1024
+        assert cfg.branch.btb_sets == 2048
+        assert cfg.branch.mispredict_penalty == 10
+        assert cfg.memory.min_latency == 300
+        assert cfg.memory.bytes_per_cycle == 8
+        assert cfg.fu.int_alu == 4
+        assert cfg.fu.mem_ports == 2
+        assert cfg.prefetcher.degree == 16
+        assert cfg.prefetcher.table_entries == 4096
+
+    def test_factories(self):
+        assert base_config().model is ModelKind.FIXED
+        assert fixed_config(2).level == 2
+        assert ideal_config(3).model is ModelKind.IDEAL
+        assert dynamic_config(3).model is ModelKind.DYNAMIC
+        assert dynamic_config(3).level == 3
+        assert runahead_config().model is ModelKind.RUNAHEAD
+
+    def test_level_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(level=4)
+        with pytest.raises(ValueError):
+            ProcessorConfig(level=0)
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(width=0)
+
+    def test_with_model(self):
+        cfg = base_config().with_model(ModelKind.IDEAL, level=2)
+        assert cfg.model is ModelKind.IDEAL
+        assert cfg.level == 2
+
+    def test_active_level(self):
+        assert fixed_config(2).active_level.iq_entries == 160
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            base_config().width = 8

@@ -1,0 +1,57 @@
+"""Main memory channel: latency floor and bandwidth serialisation."""
+
+from repro.config import MemoryConfig
+from repro.memory import MainMemory
+
+
+def channel(latency=300, bw=8, line=64):
+    return MainMemory(MemoryConfig(min_latency=latency, bytes_per_cycle=bw),
+                      line_bytes=line)
+
+
+class TestChannel:
+    def test_single_request_latency(self):
+        mem = channel()
+        assert mem.schedule(cycle=100) == 400
+
+    def test_transfer_cycles(self):
+        assert channel(bw=8, line=64).transfer_cycles == 8
+        assert channel(bw=16, line=64).transfer_cycles == 4
+        assert channel(bw=64, line=32).transfer_cycles == 1
+
+    def test_back_to_back_requests_serialise(self):
+        mem = channel()
+        first = mem.schedule(cycle=0)
+        second = mem.schedule(cycle=0)
+        assert first == 300
+        assert second == 308    # queued behind one 8-cycle transfer
+
+    def test_parallel_misses_are_mlp(self):
+        """Figure 1(b): two overlapped misses finish ~8 cycles apart,
+        not 300 apart."""
+        mem = channel()
+        a = mem.schedule(cycle=10)
+        b = mem.schedule(cycle=12)
+        assert b - a == 8
+
+    def test_idle_channel_no_queue(self):
+        mem = channel()
+        mem.schedule(cycle=0)
+        assert mem.schedule(cycle=1000) == 1300
+
+    def test_queue_delay(self):
+        mem = channel()
+        assert mem.queue_delay(0) == 0
+        mem.schedule(cycle=0)
+        assert mem.queue_delay(0) == 8
+        assert mem.queue_delay(8) == 0
+
+    def test_stats_and_reset(self):
+        mem = channel()
+        mem.schedule(0)
+        mem.schedule(0)
+        assert mem.requests == 2
+        assert mem.busy_cycles == 16
+        mem.reset()
+        assert mem.requests == 0
+        assert mem.schedule(0) == 300

@@ -1,0 +1,125 @@
+"""Energy and area models."""
+
+import pytest
+
+from repro.config import base_config, dynamic_config, fixed_config
+from repro.energy import (
+    AREA_BASE_CORE_MM2,
+    AREA_SB_CHIP_MM2,
+    AreaModel,
+    EnergyModel,
+    EnergyParams,
+)
+from repro.pipeline import simulate
+
+
+@pytest.fixture(scope="module")
+def annotated(gcc_trace_module):
+    trace = gcc_trace_module
+    model = EnergyModel()
+    base = simulate(base_config(), trace, warmup=2000, measure=5000)
+    dyn = simulate(dynamic_config(3), trace, warmup=2000, measure=5000)
+    model.annotate(base, base_config())
+    model.annotate(dyn, dynamic_config(3))
+    return base, dyn
+
+
+@pytest.fixture(scope="module")
+def gcc_trace_module():
+    from repro.workloads import generate_trace, profile
+    return generate_trace(profile("gcc"), n_ops=8_000, seed=3)
+
+
+class TestEnergyModel:
+    def test_breakdown_components_positive(self, annotated):
+        base, __ = annotated
+        bd = EnergyModel().breakdown(base, base_config())
+        assert bd.frontend_nj > 0
+        assert bd.window_nj > 0
+        assert bd.execute_nj > 0
+        assert bd.memory_nj > 0
+        assert bd.leakage_nj > 0
+        assert bd.total_nj == pytest.approx(
+            bd.frontend_nj + bd.window_nj + bd.execute_nj + bd.memory_nj
+            + bd.leakage_nj)
+
+    def test_annotate_fills_fields(self, annotated):
+        base, __ = annotated
+        assert base.energy_nj > 0
+        assert base.edp == pytest.approx(base.energy_nj * base.cycles)
+
+    def test_requires_raw_stats(self, annotated):
+        base, __ = annotated
+        stripped = type(base)(**{**base.__dict__, "stats": None})
+        with pytest.raises(ValueError):
+            EnergyModel().breakdown(stripped, base_config())
+
+    def test_bigger_window_leaks_more(self, annotated):
+        """The dynamic model physically provisions 4x window resources;
+        at equal runtime its leakage must exceed the base's."""
+        base, dyn = annotated
+        model = EnergyModel()
+        base_bd = model.breakdown(base, base_config())
+        dyn_bd = model.breakdown(dyn, dynamic_config(3))
+        base_leak_rate = base_bd.leakage_nj / base.cycles
+        dyn_leak_rate = dyn_bd.leakage_nj / dyn.cycles
+        assert dyn_leak_rate > base_leak_rate
+
+    def test_gated_region_leaks_less_than_active(self):
+        p = EnergyParams()
+        assert 0 < p.gated_leak_fraction < 1
+
+    def test_inverse_edp_ratio(self, annotated):
+        base, dyn = annotated
+        ratio = EnergyModel.inverse_edp_ratio(dyn, base)
+        assert ratio > 0
+        assert ratio == pytest.approx(base.edp / dyn.edp)
+
+    def test_inverse_edp_requires_annotation(self, annotated):
+        base, __ = annotated
+        blank = type(base)(**{**base.__dict__, "edp": 0.0})
+        with pytest.raises(ValueError):
+            EnergyModel.inverse_edp_ratio(blank, base)
+
+
+class TestAreaModel:
+    def test_calibrated_to_paper(self):
+        report = AreaModel(dynamic_config(3)).report()
+        assert report.extra_mm2 == pytest.approx(1.6)
+        assert report.vs_base_core == pytest.approx(1.6 / 25.0)
+        assert report.vs_sb_core == pytest.approx(1.6 / 19.0)
+        assert report.vs_sb_chip == pytest.approx(4 * 1.6 / 216.0)
+
+    def test_pollack_expectation(self):
+        report = AreaModel(dynamic_config(3)).report()
+        # sqrt(1.064) - 1 ~= 3.2%
+        assert 0.025 < report.pollack_expected_speedup < 0.04
+
+    def test_window_area_monotone_in_level(self):
+        model = AreaModel(dynamic_config(3))
+        a1 = model.window_area_mm2(1)
+        a2 = model.window_area_mm2(2)
+        a3 = model.window_area_mm2(3)
+        assert a1 < a2 < a3
+
+    def test_partial_enlargement_costs_less(self):
+        model = AreaModel(dynamic_config(3))
+        assert model.extra_area_mm2(2) < model.extra_area_mm2(3)
+
+    def test_l2_area_linear(self):
+        assert AreaModel.l2_area_mm2(2 * 1024 * 1024, 4) == \
+            pytest.approx(8.6)
+        assert AreaModel.l2_area_mm2(4 * 1024 * 1024, 8) == \
+            pytest.approx(17.2)
+
+    def test_rejects_degenerate_levels(self):
+        from repro.config import ProcessorConfig, ResourceLevel
+        one_level = (ResourceLevel(iq_entries=64, rob_entries=128,
+                                   lsq_entries=64, iq_depth=1, rob_depth=1,
+                                   lsq_depth=1),)
+        with pytest.raises(ValueError):
+            AreaModel(ProcessorConfig(levels=one_level, level=1))
+
+    def test_report_rows_render(self):
+        rows = AreaModel(dynamic_config(3)).report().rows()
+        assert any("additional area" in name for name, __ in rows)

@@ -1,0 +1,65 @@
+"""Energy breakdown reporting."""
+
+import pytest
+
+from repro.config import base_config, dynamic_config
+from repro.energy import (
+    EnergyModel,
+    breakdown_rows,
+    compare_breakdowns,
+    render_breakdown,
+)
+from repro.pipeline import simulate
+from repro.workloads import generate_trace, profile
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    trace = generate_trace(profile("omnetpp"), n_ops=8000, seed=3)
+    base = simulate(base_config(), trace, warmup=2000, measure=5000)
+    dyn = simulate(dynamic_config(3), trace, warmup=2000, measure=5000)
+    return base, dyn
+
+
+class TestBreakdownRows:
+    def test_shares_sum_to_one(self, run_pair):
+        base, __ = run_pair
+        bd = EnergyModel().breakdown(base, base_config())
+        rows = breakdown_rows(bd)
+        assert sum(share for __, ___, share in rows) == pytest.approx(1.0)
+        assert len(rows) == 5
+
+    def test_values_match_breakdown(self, run_pair):
+        base, __ = run_pair
+        bd = EnergyModel().breakdown(base, base_config())
+        rows = dict((name, val) for name, val, __ in breakdown_rows(bd))
+        assert rows["window"] == pytest.approx(bd.window_nj)
+        assert rows["memory"] == pytest.approx(bd.memory_nj)
+
+
+class TestRendering:
+    def test_render_breakdown(self, run_pair):
+        base, __ = run_pair
+        text = render_breakdown(base, base_config())
+        assert "omnetpp" in text
+        assert "window" in text and "leakage" in text and "total" in text
+
+    def test_compare_breakdowns(self, run_pair):
+        base, dyn = run_pair
+        text = compare_breakdowns([
+            ("base", base, base_config()),
+            ("resize", dyn, dynamic_config(3)),
+        ])
+        assert "base" in text and "resize" in text
+        assert text.count("nJ") >= 12
+
+    def test_dynamic_window_energy_higher_per_cycle(self, run_pair):
+        """The enlarged window's CAMs cost more per event — visible in
+        the component split."""
+        base, dyn = run_pair
+        model = EnergyModel()
+        base_bd = model.breakdown(base, base_config())
+        dyn_bd = model.breakdown(dyn, dynamic_config(3))
+        base_rate = base_bd.window_nj / base.instructions
+        dyn_rate = dyn_bd.window_nj / dyn.instructions
+        assert dyn_rate > base_rate

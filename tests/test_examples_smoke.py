@@ -1,0 +1,28 @@
+"""Examples: every script imports cleanly and declares a main()."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), \
+        f"{path.name} must define main()"
+    assert module.__doc__, f"{path.name} must carry a docstring"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "memory_wall", "phase_adaptivity",
+            "custom_policy", "runahead_vs_window", "cpi_stacks",
+            "timeline", "kernel_study", "four_core_chip"} <= names

@@ -1,0 +1,165 @@
+"""Experiment harnesses: every paper figure/table runs and reproduces
+its headline claim at small scale."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import (
+    ExperimentResult,
+    Settings,
+    Sweep,
+    render_table,
+)
+
+SMALL = Settings(all_programs=False, warmup=2_000, measure=6_000)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return Sweep(SMALL)
+
+
+def run_exp(exp_id, sweep):
+    import importlib
+    module = importlib.import_module(EXPERIMENTS[exp_id])
+    return module.run(sweep=sweep)
+
+
+class TestInfrastructure:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_result_as_text(self):
+        res = ExperimentResult(exp_id="x", title="t", headers=["h"],
+                               rows=[["v"]], notes=["n"])
+        text = res.as_text()
+        assert "== x: t ==" in text and "note: n" in text
+
+    def test_sweep_caches_runs(self, sweep):
+        a = sweep.base("gcc")
+        b = sweep.base("gcc")
+        assert a is b
+
+    def test_settings_program_selection(self):
+        assert len(Settings(all_programs=True).programs()) == 28
+        assert len(SMALL.programs()) == 14
+
+    def test_experiment_registry_complete(self):
+        for exp_id in ("fig02", "fig04", "fig07", "fig08", "fig09",
+                       "fig10", "fig11", "fig12", "table3", "table4",
+                       "table5"):
+            assert exp_id in EXPERIMENTS
+
+
+class TestFig02:
+    def test_tradeoff_shape(self, sweep):
+        res = run_exp("fig02", sweep)
+        libq = res.series["libquantum"]
+        gcc = res.series["gcc"]
+        # memory-intensive: monotone gain with level
+        assert libq["fixed"][2] > libq["fixed"][0] * 1.3
+        # compute-intensive: the pipelined window hurts ...
+        assert gcc["fixed"][1] < 0.97
+        # ... but the non-pipelined (ideal) window does not
+        assert gcc["ideal"][1] > 0.95
+
+
+class TestFig04:
+    def test_misses_cluster(self, sweep):
+        res = run_exp("fig04", sweep)
+        assert res.series["samples"] > 50
+        assert res.series["fraction_below_64"] > 0.4
+        # the paper's secondary peak near the 300-cycle memory latency
+        assert 200 <= res.series["late_peak_bin_low"] <= 420
+
+
+class TestTable3:
+    def test_categories_agree(self, sweep):
+        res = run_exp("table3", sweep)
+        assert res.series["agreement"] >= 0.9
+
+
+class TestFig07:
+    def test_headline(self, sweep):
+        res = run_exp("fig07", sweep)
+        assert res.series["gm_mem"] > 1.25       # paper: 1.48
+        assert 0.9 < res.series["gm_comp"] < 1.15  # paper: 1.04
+        assert res.series["gm_all"] > 1.1        # paper: 1.21
+
+    def test_resizing_tracks_best_fixed(self, sweep):
+        res = run_exp("fig07", sweep)
+        for program, row in res.series["per_program"].items():
+            assert row["res"] >= 0.8 * row["fixed_best"], program
+
+
+class TestFig08:
+    def test_residency_split(self, sweep):
+        res = run_exp("fig08", sweep)
+        assert res.series["libquantum"][2] > 0.8     # level 3 dominates
+        assert res.series["gcc"][0] > 0.5            # level 1 dominates
+
+
+class TestFig09:
+    def test_energy_efficiency(self, sweep):
+        res = run_exp("fig09", sweep)
+        assert res.series["gm_mem"] > 1.1           # paper: 1.36
+        assert 0.8 < res.series["gm_comp"] <= 1.05  # paper: 0.92
+        assert res.series["gm_all"] > 1.0           # paper: 1.08
+
+
+class TestFig10:
+    def test_l2_loses_to_window(self, sweep):
+        res = run_exp("fig10", sweep)
+        assert res.series["gm_l2"] < 1.1
+        assert res.series["gm_dyn"] > res.series["gm_l2"] + 0.1
+
+
+class TestFig11:
+    def test_pollution_limited(self, sweep):
+        res = run_exp("fig11", sweep)
+        for program in ("libquantum", "gcc"):
+            series = res.series[program]
+            # resizing brings at most modestly more lines than base
+            assert series["resize_total"] < 1.6
+            wrong = (series["resize"]["wrongpath_useful"]
+                     + series["resize"]["wrongpath_useless"])
+            assert wrong < 0.3
+
+
+class TestTable4:
+    def test_cost_accounting(self, sweep):
+        res = run_exp("table4", sweep)
+        assert res.series["extra_mm2"] == pytest.approx(1.6)
+        assert res.series["vs_base_core"] == pytest.approx(0.064)
+        assert res.series["pollack"] < 0.05
+        assert res.series["speedup"] - 1 > res.series["pollack"] * 2
+
+
+class TestTable5:
+    def test_distances_ordered(self, sweep):
+        res = run_exp("table5", sweep)
+        # branchy programs mispredict far more often than streaming ones
+        assert res.series["gobmk"] < res.series["GemsFDTD"]
+        assert res.series["sjeng"] < res.series["libquantum"]
+
+
+class TestFig12:
+    def test_resizing_beats_runahead_on_average(self, sweep):
+        res = run_exp("fig12", sweep)
+        assert res.series["gm_dyn_mem"] > res.series["gm_runahead_mem"]
+        assert res.series["gm_runahead_mem"] > 1.0   # runahead does help
+
+
+class TestAblations:
+    def test_transition_penalty_insensitive(self, sweep):
+        res = run_exp("ablation_penalty", sweep)
+        # paper: <= 1.3% loss at 30 cycles; allow a little sample noise
+        assert res.series["gm_penalty_30"] > 0.95
+
+    def test_max_level_monotone_on_memory(self, sweep):
+        res = run_exp("ablation_maxlevel", sweep)
+        assert res.series["gm_max3"] >= res.series["gm_max1"]

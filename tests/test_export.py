@@ -1,0 +1,63 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+from repro.experiments.export import (
+    export_results,
+    result_to_csv,
+    series_to_json,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def sample_result():
+    return ExperimentResult(
+        exp_id="figX", title="demo", headers=["program", "ipc"],
+        rows=[["gcc", "1.23"], ["mcf", "0.45"]],
+        notes=["a note"], series={"gm": 1.1, "nested": {"a": 2}})
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = result_to_csv(sample_result(), tmp_path / "out.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# a note"
+        rows = list(csv.reader(lines[1:]))
+        assert rows[0] == ["program", "ipc"]
+        assert rows[1] == ["gcc", "1.23"]
+        assert rows[2] == ["mcf", "0.45"]
+
+    def test_creates_directories(self, tmp_path):
+        path = result_to_csv(sample_result(),
+                             tmp_path / "deep" / "dir" / "out.csv")
+        assert path.exists()
+
+
+class TestJSON:
+    def test_series_exported(self, tmp_path):
+        path = series_to_json(sample_result(), tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["exp_id"] == "figX"
+        assert payload["series"]["gm"] == 1.1
+        assert payload["series"]["nested"]["a"] == 2
+
+
+class TestCampaign:
+    def test_export_results(self, tmp_path):
+        a = sample_result()
+        b = sample_result()
+        b.exp_id = "tableY"
+        written = export_results([a, b], tmp_path)
+        assert len(written) == 4
+        names = {p.name for p in written}
+        assert names == {"figX.csv", "figX.json", "tableY.csv",
+                         "tableY.json"}
+
+    def test_cli_csv_dir(self, tmp_path):
+        from repro.experiments.__main__ import main
+        code = main(["--selected", "--measure", "2000", "--warmup", "500",
+                     "--only", "table4", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table4.csv").exists()
+        assert (tmp_path / "table4.json").exists()

@@ -1,0 +1,201 @@
+"""Workload generator: structure, determinism, parameter fidelity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import OpClass
+from repro.workloads import (
+    MemoryBehavior,
+    PhaseSpec,
+    ProgramProfile,
+    TraceGenerator,
+    generate_trace,
+    profile,
+)
+
+
+_ALIASES = {"load": "load_frac", "store": "store_frac", "fp": "fp_frac",
+            "chain": "chain_depth", "noisy": "noisy_branch_frac",
+            "bias": "bias_taken_prob"}
+
+
+def simple_profile(**overrides):
+    phase_args = dict(name="p", length=2000, load_frac=0.3, store_frac=0.1,
+                      chain_depth=2, noisy_branch_frac=0.1)
+    for key, value in overrides.items():
+        phase_args[_ALIASES.get(key, key)] = value
+    return ProgramProfile(name="synthetic", category="int",
+                          memory_intensive=False,
+                          phases=(PhaseSpec(**phase_args),))
+
+
+class TestValidation:
+    def test_phase_too_short(self):
+        with pytest.raises(ValueError, match="shorter than one"):
+            PhaseSpec(name="p", length=10)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", length=2000, load_frac=0.8, store_frac=0.5)
+
+    def test_chain_depth(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", length=2000, chain_depth=0)
+
+    def test_profile_needs_phases(self):
+        with pytest.raises(ValueError):
+            ProgramProfile(name="x", category="int", memory_intensive=False,
+                           phases=())
+
+    def test_profile_category(self):
+        with pytest.raises(ValueError):
+            ProgramProfile(name="x", category="weird",
+                           memory_intensive=False,
+                           phases=(PhaseSpec(name="p", length=2000),))
+
+    def test_memory_weights_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(stride=0, chase=0, scatter=0, hot=0).weights()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(simple_profile(), 3000, seed=5)
+        b = generate_trace(simple_profile(), 3000, seed=5)
+        assert len(a.ops) == len(b.ops)
+        for x, y in zip(a.ops, b.ops):
+            assert (x.pc, x.op, x.dst, x.srcs, x.addr, x.taken, x.target) \
+                == (y.pc, y.op, y.dst, y.srcs, y.addr, y.taken, y.target)
+
+    def test_different_seed_differs(self):
+        a = generate_trace(simple_profile(), 3000, seed=5)
+        b = generate_trace(simple_profile(), 3000, seed=6)
+        assert any(x.addr != y.addr for x, y in zip(a.ops, b.ops)
+                   if x.op is OpClass.LOAD and y.op is OpClass.LOAD)
+
+
+class TestStructure:
+    def test_exact_length(self):
+        trace = generate_trace(simple_profile(), 4321, seed=1)
+        assert len(trace.ops) == 4321
+
+    def test_load_fraction_approximate(self):
+        trace = generate_trace(simple_profile(load=0.3), 8000, seed=1)
+        assert 0.2 <= trace.load_fraction() <= 0.4
+
+    def test_branch_fraction(self):
+        trace = generate_trace(simple_profile(blocks=4, block_ops=12),
+                               8000, seed=1)
+        branches = sum(1 for op in trace.ops if op.is_branch)
+        # one branch per 13 slots
+        assert branches == pytest.approx(8000 / 13, rel=0.15)
+
+    def test_pcs_repeat_loop_structure(self):
+        """Static PCs recur — the predictors and prefetcher rely on it."""
+        trace = generate_trace(simple_profile(), 4000, seed=1)
+        pcs = {op.pc for op in trace.ops}
+        assert len(pcs) < 200
+
+    def test_same_pc_same_opclass(self):
+        trace = generate_trace(simple_profile(), 4000, seed=1)
+        kind_by_pc = {}
+        for op in trace.ops:
+            assert kind_by_pc.setdefault(op.pc, op.op) == op.op
+
+    def test_loopback_branch_taken(self):
+        trace = generate_trace(simple_profile(noisy_branch_frac=0.0,
+                                              bias=0.0), 4000, seed=1)
+        backward = [op for op in trace.ops
+                    if op.is_branch and op.target < op.pc]
+        assert backward
+        assert all(op.taken for op in backward)
+
+    def test_mem_ops_have_addresses(self):
+        trace = generate_trace(simple_profile(), 4000, seed=1)
+        for op in trace.ops:
+            if op.is_mem:
+                assert op.addr > 0 and op.size == 8
+            else:
+                assert op.addr == 0
+
+
+def simple_bias_profile(bias):
+    return simple_profile(noisy_branch_frac=0.0, bias=bias)
+
+
+def simple_profile_with(name="p", **kw):
+    return simple_profile(**kw)
+
+
+class TestKnobs:
+    def test_bias_controls_taken_rate(self):
+        high = generate_trace(simple_bias_profile(0.3), 8000, seed=1)
+        low = generate_trace(simple_bias_profile(0.0), 8000, seed=1)
+
+        def taken_rate(trace):
+            cond = [op for op in trace.ops
+                    if op.is_branch and op.target >= op.pc]
+            return sum(op.taken for op in cond) / max(1, len(cond))
+        assert taken_rate(high) > 0.15
+        assert taken_rate(low) == 0.0
+
+    def test_streaming_addresses_advance(self):
+        prof = simple_profile(mem=MemoryBehavior(
+            stride=1.0, hot=0.0, stream_bytes=1 << 20, stride_bytes=8))
+        trace = generate_trace(prof, 4000, seed=1)
+        by_pc = {}
+        for op in trace.ops:
+            if op.is_load:
+                by_pc.setdefault(op.pc, []).append(op.addr)
+        streams = [a for a in by_pc.values() if len(a) > 4]
+        assert streams
+        for addrs in streams:
+            deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+            assert deltas <= {8}     # constant per-PC stride
+
+    def test_chase_loads_serialise(self):
+        prof = simple_profile(mem=MemoryBehavior(
+            chase=1.0, hot=0.0, working_set_bytes=1 << 20))
+        trace = generate_trace(prof, 4000, seed=1)
+        chase = [op for op in trace.ops if op.is_load]
+        assert chase
+        # every chase load reads the register the previous one wrote
+        for op in chase:
+            assert op.dst in op.srcs or op.srcs == (op.dst,) or \
+                op.srcs[0] == chase[0].dst
+
+    def test_fp_fraction(self):
+        prof = simple_profile(fp=0.9)
+        trace = generate_trace(prof, 6000, seed=1)
+        arith = [op for op in trace.ops
+                 if op.op in (OpClass.IALU, OpClass.IMUL, OpClass.FPALU,
+                              OpClass.FPMUL)]
+        fp = [op for op in arith
+              if op.op in (OpClass.FPALU, OpClass.FPMUL)]
+        assert len(fp) / len(arith) > 0.6
+
+    def test_warm_regions_declared(self):
+        trace = generate_trace(profile("gcc"), 3000, seed=1)
+        assert trace.warm_regions
+        for base, size, l1_too in trace.warm_regions:
+            assert base > 0 and size > 0
+            assert isinstance(l1_too, bool)
+
+
+class TestGeneratorProperties:
+    @given(load=st.floats(0.05, 0.4), store=st.floats(0.0, 0.2),
+           chain=st.integers(1, 5), n=st.integers(500, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_any_reasonable_phase_generates(self, load, store, chain, n):
+        prof = simple_profile(load=round(load, 2), store=round(store, 2),
+                              chain=chain)
+        trace = generate_trace(prof, n, seed=1)
+        assert len(trace.ops) == n
+        for op in trace.ops:
+            assert op.pc > 0
+            if op.is_branch:
+                assert op.target > 0
+
+
+def simple_profile_load(**kw):
+    return simple_profile(**kw)

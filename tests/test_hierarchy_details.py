@@ -1,0 +1,126 @@
+"""Memory hierarchy edge cases: writebacks, prefetch gating, shared use."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PrefetcherConfig, base_config
+from repro.memory import AccessPath, MemoryHierarchy
+
+
+def hierarchy(**memory_overrides):
+    config = base_config()
+    if memory_overrides:
+        config = replace(config,
+                         memory=replace(config.memory, **memory_overrides))
+    return MemoryHierarchy(config)
+
+
+class TestWritebacks:
+    def _fill_set_with_dirty(self, mem):
+        """Dirty enough same-set L2 lines to force a dirty eviction."""
+        # L2: 8192 sets, 64B lines -> same set every 512KB
+        stride = 8192 * 64
+        for i in range(6):   # assoc is 4: at least 2 evictions
+            mem.store(0x100000 + i * stride, cycle=i * 400)
+        return mem
+
+    def test_disabled_by_default(self):
+        mem = self._fill_set_with_dirty(hierarchy())
+        assert mem.l2_writebacks == 0
+
+    def test_dirty_eviction_counts_when_enabled(self):
+        mem = self._fill_set_with_dirty(hierarchy(model_writebacks=True))
+        assert mem.l2_writebacks >= 1
+
+    def test_writeback_consumes_bandwidth(self):
+        off = self._fill_set_with_dirty(hierarchy())
+        on = self._fill_set_with_dirty(hierarchy(model_writebacks=True))
+        assert on.memory.requests > off.memory.requests
+
+    def test_clean_eviction_never_writes_back(self):
+        mem = hierarchy(model_writebacks=True)
+        stride = 8192 * 64
+        for i in range(6):
+            mem.load(0x100000 + i * stride, cycle=i * 400, pc=0x400)
+        assert mem.l2_writebacks == 0
+
+    def test_l1_dirty_evict_marks_l2_dirty(self):
+        mem = hierarchy(model_writebacks=True)
+        mem.store(0x100000, cycle=0)               # dirty in L1 + L2 fill
+        # evict the L1 line: L1D is 1024 sets x 32B, same set every 32KB
+        for i in range(1, 4):                       # assoc 2
+            mem.load(0x100000 + i * 1024 * 32, cycle=400 + i, pc=0x400)
+        line = mem.l2.lookup(0x100000, update_lru=False)
+        assert line is not None and line.dirty
+
+
+class TestPrefetchGating:
+    def test_prefetches_dropped_under_backlog(self):
+        mem = hierarchy()
+        # saturate the channel far beyond the gate threshold
+        for i in range(40):
+            mem.memory.schedule(0)
+        before = mem.prefetch_fills
+        # steady stride stream that would normally prefetch
+        for i in range(4):
+            mem.load(0x500000 + i * 64, cycle=i, pc=0x400)
+        assert mem.prefetch_fills == before
+
+    def test_prefetch_not_refetched_when_pending(self):
+        mem = hierarchy()
+        for i in range(4):
+            mem.load(0x500000 + i * 64, cycle=i * 350, pc=0x400)
+        requests = mem.memory.requests
+        # re-trigger immediately: all candidates already resident/pending
+        mem.load(0x500000 + 4 * 64, cycle=1500, pc=0x400)
+        assert mem.memory.requests <= requests + 2
+
+
+class TestSharedComponents:
+    def test_two_facades_share_l2_state(self):
+        from repro.memory import Cache, MSHRFile, MainMemory
+        config = base_config()
+        l2 = Cache(config.l2, name="L2s")
+        mshr = MSHRFile(config.l2.mshr_entries)
+        channel = MainMemory(config.memory, line_bytes=64)
+        a = MemoryHierarchy(config, shared_l2=l2, shared_l2_mshr=mshr,
+                            shared_memory=channel)
+        b = MemoryHierarchy(config, shared_l2=l2, shared_l2_mshr=mshr,
+                            shared_memory=channel)
+        a.load(0x900000, cycle=0, pc=0x400)
+        # facade B sees A's fill as an L2 hit (after the fill lands)
+        res = b.load(0x900000, cycle=2_000, pc=0x404)
+        assert res.l2_hit and not res.l2_miss
+
+    def test_private_miss_listeners(self):
+        from repro.memory import Cache, MSHRFile, MainMemory
+        config = base_config()
+        l2 = Cache(config.l2, name="L2s")
+        mshr = MSHRFile(config.l2.mshr_entries)
+        channel = MainMemory(config.memory, line_bytes=64)
+        a = MemoryHierarchy(config, shared_l2=l2, shared_l2_mshr=mshr,
+                            shared_memory=channel)
+        b = MemoryHierarchy(config, shared_l2=l2, shared_l2_mshr=mshr,
+                            shared_memory=channel)
+        events_a, events_b = [], []
+        a.add_l2_miss_listener(events_a.append)
+        b.add_l2_miss_listener(events_b.append)
+        a.load(0x900000, cycle=0, pc=0x400)
+        assert len(events_a) == 1
+        assert not events_b           # B's controller is blind to A's miss
+
+
+class TestWrongPathAccounting:
+    def test_wrong_path_load_trains_prefetcher(self):
+        mem = hierarchy()
+        for i in range(4):
+            mem.load(0x500000 + i * 64, cycle=i * 350, pc=0x400,
+                     path=AccessPath.WRONG)
+        assert mem.prefetcher.trained >= 4
+
+    def test_store_path_classified(self):
+        mem = hierarchy()
+        mem.store(0x900000, cycle=0, path=AccessPath.WRONG)
+        usage = mem.line_usage().as_dict()
+        assert usage["wrongpath_useless"] == 1

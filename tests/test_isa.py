@@ -1,0 +1,106 @@
+"""ISA: register naming, micro-op records, latency table."""
+
+import pytest
+
+from repro.isa import (
+    EXEC_LATENCY,
+    FP_REG_BASE,
+    MicroOp,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_LOGICAL_REGS,
+    OpClass,
+    REG_INVALID,
+    fp_reg,
+    int_reg,
+    is_branch_op,
+    is_fp_reg,
+    is_int_reg,
+    is_mem_op,
+    reg_name,
+)
+
+
+class TestRegisters:
+    def test_flat_space(self):
+        assert NUM_LOGICAL_REGS == NUM_INT_REGS + NUM_FP_REGS == 64
+
+    def test_int_reg_mapping(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_reg_mapping(self):
+        assert fp_reg(0) == FP_REG_BASE == 32
+        assert fp_reg(31) == 63
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+    def test_predicates(self):
+        assert is_int_reg(5) and not is_fp_reg(5)
+        assert is_fp_reg(40) and not is_int_reg(40)
+        assert not is_int_reg(64) and not is_fp_reg(64)
+
+    def test_names(self):
+        assert reg_name(3) == "r3"
+        assert reg_name(fp_reg(4)) == "f4"
+        assert reg_name(REG_INVALID) == "-"
+        with pytest.raises(ValueError):
+            reg_name(99)
+
+
+class TestOpClass:
+    def test_mem_predicate(self):
+        assert is_mem_op(OpClass.LOAD)
+        assert is_mem_op(OpClass.STORE)
+        assert not is_mem_op(OpClass.IALU)
+        assert not is_mem_op(OpClass.BRANCH)
+
+    def test_branch_predicate(self):
+        assert is_branch_op(OpClass.BRANCH)
+        assert not is_branch_op(OpClass.LOAD)
+
+    def test_latency_table_complete(self):
+        for op in OpClass:
+            assert op in EXEC_LATENCY
+            assert EXEC_LATENCY[op] >= 1
+
+    def test_latency_ordering(self):
+        assert EXEC_LATENCY[OpClass.IALU] == 1
+        assert EXEC_LATENCY[OpClass.IMUL] > EXEC_LATENCY[OpClass.IALU]
+        assert EXEC_LATENCY[OpClass.IDIV] > EXEC_LATENCY[OpClass.IMUL]
+        assert EXEC_LATENCY[OpClass.FPMUL] > EXEC_LATENCY[OpClass.FPALU]
+
+
+class TestMicroOp:
+    def test_defaults(self):
+        op = MicroOp(0x1000, OpClass.IALU, dst=3, srcs=(1, 2))
+        assert op.pc == 0x1000
+        assert not op.is_mem and not op.is_branch
+        assert op.dst == 3 and op.srcs == (1, 2)
+
+    def test_load_properties(self):
+        op = MicroOp(0x1000, OpClass.LOAD, dst=1, addr=0x2000, size=8)
+        assert op.is_load and op.is_mem and not op.is_store
+
+    def test_store_properties(self):
+        op = MicroOp(0x1000, OpClass.STORE, srcs=(1,), addr=0x2000, size=8)
+        assert op.is_store and op.is_mem and not op.is_load
+
+    def test_branch_properties(self):
+        op = MicroOp(0x1000, OpClass.BRANCH, taken=True, target=0x2000)
+        assert op.is_branch and op.taken and op.target == 0x2000
+
+    def test_repr_smoke(self):
+        op = MicroOp(0x1000, OpClass.LOAD, dst=1, srcs=(2,), addr=0x80,
+                     size=8)
+        text = repr(op)
+        assert "load" in text and "r1" in text and "0x80" in text
+
+    def test_slots_reject_new_attrs(self):
+        op = MicroOp(0x1000, OpClass.NOP)
+        with pytest.raises(AttributeError):
+            op.bogus = 1

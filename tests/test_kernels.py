@@ -1,0 +1,73 @@
+"""Micro-kernel workload factories."""
+
+import pytest
+
+from repro.config import dynamic_config, fixed_config
+from repro.pipeline import simulate
+from repro.workloads import (
+    KERNELS,
+    compute_kernel,
+    generate_trace,
+    phased_kernel,
+    pointer_chase_kernel,
+    random_access_kernel,
+    stream_kernel,
+)
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_default_kernel_generates(self, name):
+        prof = KERNELS[name]()
+        trace = generate_trace(prof, n_ops=2000, seed=1)
+        assert len(trace.ops) == 2000
+
+    def test_kernel_names_distinct(self):
+        names = {KERNELS[k]().name for k in KERNELS}
+        assert len(names) == len(KERNELS)
+
+    def test_phased_kernel_two_phases(self):
+        prof = phased_kernel(memory_ops=2000, compute_ops=3000)
+        assert len(prof.phases) == 2
+        assert prof.phases[0].length == 2000
+        assert prof.phases[1].length == 3000
+
+    def test_compute_kernel_knobs(self):
+        prof = compute_kernel(chain_depth=4, branch_entropy=0.2)
+        assert prof.phases[0].chain_depth == 4
+        assert prof.phases[0].noisy_branch_frac == 0.2
+        assert not prof.memory_intensive
+
+
+class TestKernelBehaviour:
+    def _speedup(self, prof):
+        trace = generate_trace(prof, n_ops=9000, seed=1)
+        base = simulate(fixed_config(1), trace, warmup=2000, measure=6000)
+        dyn = simulate(dynamic_config(3), trace, warmup=2000, measure=6000)
+        return dyn.ipc / base.ipc
+
+    def test_random_access_scales_with_window(self):
+        assert self._speedup(random_access_kernel(working_set_mb=16)) > 1.3
+
+    def test_cache_resident_random_access_does_not(self):
+        ratio = self._speedup(random_access_kernel(working_set_mb=0.5))
+        assert 0.9 < ratio < 1.15
+
+    def test_pointer_chase_window_insensitive(self):
+        ratio = self._speedup(pointer_chase_kernel(chase_frac=0.2))
+        assert 0.9 < ratio < 1.2
+
+    def test_stream_kernel_memory_bound(self):
+        trace = generate_trace(stream_kernel(), n_ops=9000, seed=1)
+        base = simulate(fixed_config(1), trace, warmup=2000, measure=6000)
+        assert base.avg_load_latency > 10
+
+    def test_compute_kernel_cache_resident(self):
+        trace = generate_trace(compute_kernel(), n_ops=9000, seed=1)
+        base = simulate(fixed_config(1), trace, warmup=2000, measure=6000)
+        assert base.avg_load_latency < 10
+
+    def test_phased_kernel_uses_multiple_levels(self):
+        trace = generate_trace(phased_kernel(), n_ops=12000, seed=1)
+        dyn = simulate(dynamic_config(3), trace, warmup=2000, measure=9000)
+        assert len(dyn.level_residency) >= 2

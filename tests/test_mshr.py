@@ -1,0 +1,72 @@
+"""MSHR file: merging, occupancy, full-file backpressure."""
+
+import pytest
+
+from repro.memory import MSHRFile
+
+
+class TestMSHR:
+    def test_requires_entry(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_lookup_miss(self):
+        m = MSHRFile(4)
+        assert m.lookup(0x100) is None
+
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, completion=50)
+        assert m.lookup(0x100) == 50
+        assert m.allocations == 1
+
+    def test_merge_counts(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, 50)
+        assert m.merge(0x100) == 50
+        assert m.merges == 1
+
+    def test_occupancy_reaps_expired(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, 50)
+        m.allocate(0x200, 80)
+        assert m.occupancy(cycle=10) == 2
+        assert m.occupancy(cycle=60) == 1
+        assert m.occupancy(cycle=100) == 0
+
+    def test_allocate_delay_when_free(self):
+        m = MSHRFile(2)
+        assert m.allocate_delay(cycle=0) == 0
+
+    def test_allocate_delay_when_full(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        m.allocate(0x200, 80)
+        assert m.allocate_delay(cycle=10) == 40   # waits for the 50-release
+        assert m.full_stalls == 1
+
+    def test_full_then_released(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, 50)
+        assert m.allocate_delay(cycle=60) == 0    # expired by cycle 60
+
+    def test_earliest_release(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, 90)
+        m.allocate(0x200, 40)
+        assert m.earliest_release() == 40
+
+    def test_reset(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        m.merge(0x100)
+        m.reset()
+        assert m.lookup(0x100) is None
+        assert m.merges == 0 and m.allocations == 0
+
+    def test_reallocation_same_line_overwrites(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        m.allocate(0x100, 70)
+        assert m.lookup(0x100) == 70
+        assert m.occupancy(0) == 1

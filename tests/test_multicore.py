@@ -1,0 +1,101 @@
+"""Multi-core system with shared L2 + memory channel."""
+
+import pytest
+
+from repro.config import base_config, dynamic_config, fixed_config
+from repro.multicore import MultiCoreSystem, simulate_multicore
+from repro.workloads import generate_trace, profile
+
+from tests.conftest import ialu, make_trace
+
+
+def compute_traces(n_cores=2, n_ops=1500):
+    return [make_trace([ialu(i, dst=1 + (i % 8)) for i in range(n_ops)],
+                       name=f"core{c}")
+            for c in range(n_cores)]
+
+
+@pytest.fixture(scope="module")
+def mixed_system():
+    programs = ("leslie3d", "gcc")
+    traces = [generate_trace(profile(p), n_ops=7000, seed=3)
+              for p in programs]
+    return simulate_multicore([dynamic_config(3)] * 2, traces,
+                              warmup=1500, measure=4000)
+
+
+class TestConstruction:
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            MultiCoreSystem([base_config()], compute_traces(2))
+
+    def test_requires_agreeing_shared_config(self):
+        from dataclasses import replace
+        from repro.config import CacheConfig
+        odd = replace(base_config(), l2=CacheConfig(
+            size_bytes=1024 * 1024, assoc=4, line_bytes=64, hit_latency=12))
+        with pytest.raises(ValueError, match="agree"):
+            MultiCoreSystem([base_config(), odd], compute_traces(2))
+
+    def test_l2_is_shared_object(self):
+        system = MultiCoreSystem([base_config()] * 2, compute_traces(2))
+        assert system.cores[0].hierarchy.l2 is system.cores[1].hierarchy.l2
+        assert system.cores[0].hierarchy.l1d is not \
+            system.cores[1].hierarchy.l1d
+
+    def test_memory_is_shared_object(self):
+        system = MultiCoreSystem([base_config()] * 2, compute_traces(2))
+        assert system.cores[0].hierarchy.memory is \
+            system.cores[1].hierarchy.memory
+
+
+class TestExecution:
+    def test_all_cores_commit(self):
+        system = MultiCoreSystem([base_config()] * 2, compute_traces(2))
+        system.run(until_committed_each=1500)
+        for core in system.cores:
+            assert core.committed_total == 1500
+
+    def test_lockstep_clocks_close(self):
+        system = MultiCoreSystem([base_config()] * 2, compute_traces(2))
+        system.run(until_committed_each=1000)
+        cycles = [core.cycle for core in system.cores]
+        # identical workloads in lockstep finish at identical times
+        assert max(cycles) - min(cycles) <= 4
+
+    def test_aggregate_ipc(self, mixed_system):
+        assert mixed_system.aggregate_ipc() > 0
+        per_core = [r.ipc for r in mixed_system.results()]
+        assert mixed_system.aggregate_ipc() <= sum(per_core) + 0.01
+
+    def test_channel_utilisation_bounded(self, mixed_system):
+        assert 0.0 <= mixed_system.channel_utilisation() <= 1.0
+
+    def test_per_core_results(self, mixed_system):
+        results = mixed_system.results()
+        assert results[0].program == "leslie3d"
+        assert results[1].program == "gcc"
+        assert all(r.ipc > 0 for r in results)
+
+
+class TestContention:
+    def test_shared_memory_slows_memory_core(self):
+        """A memory-bound core runs slower next to another memory-bound
+        core than next to a compute core (channel contention)."""
+        def leslie_ipc(neighbour):
+            traces = [generate_trace(profile("leslie3d"), 7000, seed=3),
+                      generate_trace(profile(neighbour), 7000, seed=4)]
+            system = simulate_multicore([base_config()] * 2, traces,
+                                        warmup=1500, measure=4000)
+            return system.results()[0].ipc
+        assert leslie_ipc("sjeng") > leslie_ipc("libquantum")
+
+    def test_resizing_pays_at_chip_level(self):
+        programs = ("leslie3d", "sphinx3")
+        def chip_ipc(config):
+            traces = [generate_trace(profile(p), 7000, seed=3)
+                      for p in programs]
+            system = simulate_multicore([config] * 2, traces,
+                                        warmup=1500, measure=4000)
+            return system.aggregate_ipc()
+        assert chip_ipc(dynamic_config(3)) > 1.15 * chip_ipc(base_config())

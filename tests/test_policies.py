@@ -1,0 +1,117 @@
+"""Comparator resizing policies and the policy factory."""
+
+import pytest
+
+from repro.config import LEVEL_TABLE
+from repro.core import (
+    ContributionPolicy,
+    MLPAwarePolicy,
+    OccupancyPolicy,
+    StaticPolicy,
+    make_policy,
+)
+from repro.pipeline import WindowSet
+
+
+@pytest.fixture
+def window():
+    return WindowSet(LEVEL_TABLE, level=1)
+
+
+class TestStaticPolicy:
+    def test_never_changes(self, window):
+        p = StaticPolicy(2)
+        p.on_l2_miss(5)
+        for cycle in range(100):
+            d = p.tick(cycle, window)
+            assert d.new_level is None and not d.stop_alloc
+        assert p.level == 2
+
+    def test_no_timers(self):
+        assert StaticPolicy(1).next_timer() is None
+        assert not StaticPolicy(1).wants_tick_every_cycle
+
+
+class TestOccupancyPolicy:
+    def test_blind_to_mlp(self, window):
+        p = OccupancyPolicy(max_level=3, period=64)
+        p.on_l2_miss(0)     # must be a no-op by design
+        d = p.tick(63, window)
+        assert d.new_level is None
+
+    def test_enlarges_on_full_stalls(self, window):
+        p = OccupancyPolicy(max_level=3, period=64,
+                            enlarge_stall_threshold=0.05)
+        window.iq.allocate(64)
+        for cycle in range(70):
+            window.has_room(1, 1, 0)      # records IQ full events
+            d = p.tick(cycle, window)
+            if d.new_level is not None:
+                break
+        assert p.level == 2
+
+    def test_shrinks_when_underused(self, window):
+        p = OccupancyPolicy(max_level=3, period=64, shrink_threshold=0.9)
+        p.level = 2
+        window.resize_to(2)
+        window.iq.allocate(4)             # far below 0.9 * 64
+        changed = None
+        for cycle in range(200):
+            d = p.tick(cycle, window)
+            if d.new_level is not None:
+                changed = d.new_level
+                break
+        assert changed == 1
+
+    def test_stop_alloc_while_draining(self, window):
+        p = OccupancyPolicy(max_level=3, period=16, shrink_threshold=0.9)
+        p.level = 2
+        window.resize_to(2)
+        window.iq.allocate(4)             # IQ underused: shrink wanted
+        window.rob.allocate(200)          # but the ROB region isn't vacant
+        saw_stop = False
+        for cycle in range(100):
+            d = p.tick(cycle, window)
+            saw_stop = saw_stop or d.stop_alloc
+        assert saw_stop
+        assert p.level == 2
+
+
+class TestContributionPolicy:
+    def test_probes_upward(self, window):
+        p = ContributionPolicy(max_level=3, period=32)
+        changed = []
+        for cycle in range(100):
+            p.committed += 2
+            d = p.tick(cycle, window)
+            if d.new_level is not None:
+                changed.append(d.new_level)
+                window.resize_to(d.new_level)
+        assert 2 in changed
+
+    def test_reverts_unprofitable_probe(self, window):
+        p = ContributionPolicy(max_level=3, period=32, keep_gain=1.5)
+        levels = []
+        for cycle in range(200):
+            p.committed += 2     # flat rate: probe never pays
+            d = p.tick(cycle, window)
+            if d.new_level is not None:
+                window.resize_to(d.new_level)
+            levels.append(p.level)
+        assert max(levels) >= 2
+        assert levels[-1] < max(levels)   # came back down
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("mlp", MLPAwarePolicy),
+        ("occupancy", OccupancyPolicy),
+        ("contribution", ContributionPolicy),
+        ("static", StaticPolicy),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_policy(name, 3, 300), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("bogus", 3, 300)

@@ -1,0 +1,119 @@
+"""Alternative prefetchers and the factory."""
+
+import pytest
+
+from repro.config import PrefetcherConfig
+from repro.memory import (
+    NextLinePrefetcher,
+    NoPrefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+
+
+def cfg(kind="stride", degree=4, enabled=True):
+    return PrefetcherConfig(kind=kind, degree=degree, enabled=enabled)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("stride", StridePrefetcher),
+        ("stream", StreamPrefetcher),
+        ("nextline", NextLinePrefetcher),
+        ("none", NoPrefetcher),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_prefetcher(cfg(kind)), cls)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher(cfg("magic"))
+
+
+class TestNoPrefetcher:
+    def test_never_prefetches(self):
+        p = NoPrefetcher(cfg("none"))
+        assert p.train(0x100, 0x4000, miss=True) == []
+
+
+class TestNextLine:
+    def test_prefetches_on_miss(self):
+        p = NextLinePrefetcher(cfg("nextline", degree=4))
+        out = p.train(0x100, 0x4000, miss=True)
+        assert out == [0x4040, 0x4080, 0x40C0, 0x4100]
+
+    def test_quiet_on_hit(self):
+        p = NextLinePrefetcher(cfg("nextline"))
+        assert p.train(0x100, 0x4000, miss=False) == []
+
+    def test_disabled(self):
+        p = NextLinePrefetcher(cfg("nextline", enabled=False))
+        assert p.train(0x100, 0x4000, miss=True) == []
+
+    def test_line_aligned(self):
+        p = NextLinePrefetcher(cfg("nextline", degree=2))
+        out = p.train(0x100, 0x4013, miss=True)
+        assert all(a % 64 == 0 for a in out)
+
+
+class TestStreamBuffers:
+    def test_second_sequential_miss_starts_stream(self):
+        p = StreamPrefetcher(cfg("stream"), depth=4)
+        assert p.train(0x100, 0x4000, miss=True) == []
+        out = p.train(0x200, 0x4040, miss=True)   # PC-blind: pc differs
+        assert out == [0x4080, 0x40C0, 0x4100, 0x4140]
+
+    def test_descending_stream(self):
+        p = StreamPrefetcher(cfg("stream"), depth=2)
+        p.train(0x100, 0x8000, miss=True)
+        out = p.train(0x100, 0x8000 - 64, miss=True)
+        assert out == [0x8000 - 128, 0x8000 - 192]
+
+    def test_stream_advances(self):
+        p = StreamPrefetcher(cfg("stream"), depth=2)
+        p.train(0x100, 0x4000, miss=True)
+        p.train(0x100, 0x4040, miss=True)
+        out = p.train(0x100, 0x4080, miss=True)
+        assert out == [0x40C0, 0x4100]
+
+    def test_unrelated_misses_no_prefetch(self):
+        p = StreamPrefetcher(cfg("stream"))
+        assert p.train(0x100, 0x4000, miss=True) == []
+        assert p.train(0x100, 0x90000, miss=True) == []
+
+    def test_stream_capacity_lru(self):
+        p = StreamPrefetcher(cfg("stream"), max_streams=4)
+        for i in range(10):
+            p.train(0x100, 0x10000 * i, miss=True)
+        assert len(p._streams) <= 4
+
+    def test_reset(self):
+        p = StreamPrefetcher(cfg("stream"))
+        p.train(0x100, 0x4000, miss=True)
+        p.reset()
+        assert not p._streams and p.trained == 0
+
+
+class TestIntegration:
+    def test_hierarchy_honours_kind(self):
+        from dataclasses import replace
+        from repro.config import base_config
+        from repro.memory import MemoryHierarchy
+        config = replace(base_config(),
+                         prefetcher=PrefetcherConfig(kind="none"))
+        mem = MemoryHierarchy(config)
+        for i in range(6):
+            mem.load(0x50000 + i * 64, cycle=i * 400, pc=0x400)
+        assert mem.prefetch_fills == 0
+
+    def test_stream_prefetcher_fills_l2(self):
+        from dataclasses import replace
+        from repro.config import base_config
+        from repro.memory import MemoryHierarchy
+        config = replace(base_config(),
+                         prefetcher=PrefetcherConfig(kind="stream"))
+        mem = MemoryHierarchy(config)
+        for i in range(6):
+            mem.load(0x50000 + i * 64, cycle=i * 400, pc=0x400 + 4 * i)
+        assert mem.prefetch_fills > 0

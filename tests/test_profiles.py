@@ -1,0 +1,92 @@
+"""The 27 SPEC2006 program profiles."""
+
+import pytest
+
+from repro.workloads import (
+    COMPUTE_INTENSIVE,
+    MEMORY_INTENSIVE,
+    PROFILES,
+    SELECTED_COMPUTE,
+    SELECTED_MEMORY,
+    generate_trace,
+    profile,
+    program_names,
+)
+
+
+class TestInventory:
+    def test_program_count(self):
+        """Table 3: all 12 SPECint + 16 SPECfp (wrf excluded) = 28."""
+        assert len(PROFILES) == 28
+
+    def test_category_split(self):
+        assert len(MEMORY_INTENSIVE) == 11
+        assert len(COMPUTE_INTENSIVE) == 17
+
+    def test_selected_sets_match_fig7(self):
+        assert len(SELECTED_MEMORY) == 8
+        assert len(SELECTED_COMPUTE) == 6
+        assert set(SELECTED_MEMORY) <= set(MEMORY_INTENSIVE)
+        assert set(SELECTED_COMPUTE) <= set(COMPUTE_INTENSIVE)
+
+    @pytest.mark.parametrize("name", ["libquantum", "mcf", "omnetpp",
+                                      "soplex", "gcc", "sjeng", "lbm",
+                                      "milc", "zeusmp"])
+    def test_known_programs_present(self, name):
+        assert name in PROFILES
+
+    def test_lookup(self):
+        assert profile("gcc").name == "gcc"
+        with pytest.raises(KeyError, match="unknown program"):
+            profile("doom")
+
+    def test_program_names_filters(self):
+        assert program_names() == MEMORY_INTENSIVE + COMPUTE_INTENSIVE
+        assert program_names(memory_only=True) == MEMORY_INTENSIVE
+        assert program_names(compute_only=True) == COMPUTE_INTENSIVE
+        with pytest.raises(ValueError):
+            program_names(memory_only=True, compute_only=True)
+
+
+class TestProfileShape:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_profile_generates(self, name):
+        trace = generate_trace(profile(name), n_ops=1500, seed=2)
+        assert len(trace.ops) == 1500
+
+    def test_paper_latencies_recorded(self):
+        assert profile("libquantum").paper_load_latency == 247.0
+        assert profile("mcf").paper_load_latency == 52.0
+        assert profile("sjeng").paper_load_latency == 2.0
+
+    def test_categories_match_threshold(self):
+        """Table 3 categorisation: >10 cycles = memory-intensive."""
+        for name, prof in PROFILES.items():
+            assert prof.memory_intensive == (prof.paper_load_latency > 10), \
+                name
+
+    def test_omnetpp_mixes_phases(self):
+        """The paper singles out omnetpp for its mixed phases."""
+        prof = profile("omnetpp")
+        assert len(prof.phases) >= 2
+        hot_phases = [p for p in prof.phases if p.mem.weights()[3] > 0.9]
+        mem_phases = [p for p in prof.phases
+                      if p.mem.weights()[1] + p.mem.weights()[2] > 0.1]
+        assert hot_phases and mem_phases
+
+    def test_libquantum_is_streaming(self):
+        mem = profile("libquantum").phases[0].mem
+        assert mem.weights()[0] > 0.8
+        assert mem.stream_bytes >= 32 * 1024 * 1024
+
+    def test_mcf_has_pointer_chase(self):
+        assert any(p.mem.weights()[1] > 0 for p in profile("mcf").phases)
+
+    def test_compute_profiles_are_cache_resident(self):
+        """No compute-intensive profile scatters over more than the L2."""
+        for name in COMPUTE_INTENSIVE:
+            for phase in profile(name).phases:
+                w = phase.mem.weights()
+                cold = (w[1] + w[2]) * (phase.mem.working_set_bytes
+                                        > 2 * 1024 * 1024)
+                assert cold < 0.1, name

@@ -1,0 +1,56 @@
+"""Public API surface: everything advertised in ``repro.__all__`` works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize("module", [
+        "repro.config", "repro.isa", "repro.workloads", "repro.memory",
+        "repro.frontend", "repro.pipeline", "repro.core", "repro.runahead",
+        "repro.energy", "repro.stats", "repro.analysis", "repro.multicore",
+        "repro.validation", "repro.cli", "repro.experiments",
+        "repro.experiments.export", "repro.workloads.kernels",
+    ])
+    def test_module_importable_and_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module
+
+    def test_experiment_modules_all_runnable(self):
+        from repro.experiments import EXPERIMENTS
+        for exp_id, module_name in EXPERIMENTS.items():
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, "run", None)), exp_id
+            assert module.__doc__, exp_id
+
+
+class TestQuickstartFlow:
+    """The README quickstart, verbatim."""
+
+    def test_quickstart(self):
+        from repro import (simulate, base_config, dynamic_config,
+                           generate_trace, profile)
+        trace = generate_trace(profile("libquantum"), n_ops=8_000, seed=1)
+        base = simulate(base_config(), trace, warmup=1500, measure=5000)
+        resized = simulate(dynamic_config(3), trace, warmup=1500,
+                           measure=5000)
+        assert resized.ipc / base.ipc > 1.3
+        assert set(resized.level_residency) <= {1, 2, 3}
+
+    def test_docstring_example_symbols(self):
+        # the module docstring's imports must stay valid
+        from repro import simulate, dynamic_config, base_config, \
+            generate_trace
+        from repro.workloads import profile
+        assert callable(simulate) and callable(profile)

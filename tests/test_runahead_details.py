@@ -1,0 +1,104 @@
+"""Runahead engine edge cases beyond the basic behaviour tests."""
+
+import pytest
+
+from repro.config import runahead_config
+from repro.pipeline import Processor
+
+from tests.conftest import (
+    DATA_BASE,
+    ialu,
+    load,
+    make_trace,
+    warm_icache,
+)
+
+
+def build(ops):
+    proc = Processor(runahead_config(), make_trace(ops))
+    warm_icache(proc)
+    return proc
+
+
+class TestEntryGuards:
+    def test_short_remaining_latency_rejected(self):
+        """A load whose fill is mostly done must not trigger a flush."""
+        ops = [load(0, dst=1, addr=DATA_BASE + 0x40000)]
+        ops += [ialu(1 + i, dst=2, srcs=(1,)) for i in range(10)]
+        proc = build(ops)
+        engine = proc.runahead
+        # run until the load is in flight, then present it near completion
+        proc.run(until_committed=0, max_cycles=50)
+        head = proc.rob[0] if proc.rob else None
+        if head is not None and head.uop.is_load and head.issued:
+            near_done = head.complete_cycle - 10
+            assert not engine.consider_entry(head, near_done)
+
+    def test_rejected_seq_not_rechecked(self):
+        ops = [load(0, dst=1, addr=DATA_BASE + 0x40000)]
+        proc = build(ops)
+        engine = proc.runahead
+
+        class FakeOp:
+            seq = 42
+            complete_cycle = 10_000
+            trace_idx = 0
+
+        fake = FakeOp()
+        fake.uop = type("U", (), {"pc": 0x400, "is_load": True})()
+        engine.rcst.update(0x400, useful=False)
+        engine.rcst.update(0x400, useful=False)
+        assert not engine.consider_entry(fake, 0)     # RCST suppresses
+        suppressions = engine.rcst.suppressions
+        assert not engine.consider_entry(fake, 0)     # cached rejection
+        assert engine.rcst.suppressions == suppressions
+
+    def test_no_nested_entry(self):
+        ops = [load(0, dst=1, addr=DATA_BASE + 0x40000)]
+        proc = build(ops)
+        engine = proc.runahead
+        engine.active = True
+        assert not engine.consider_entry(object(), 0)
+        engine.active = False
+
+
+class TestEpisodeAccounting:
+    def _stream(self, n=16, gap=10):
+        ops = []
+        idx = 0
+        for i in range(n):
+            ops.append(load(idx, dst=1, addr=DATA_BASE + 0x8000 * i))
+            idx += 1
+            for j in range(gap):
+                ops.append(ialu(idx, dst=2 + (j % 6), srcs=(1,)))
+                idx += 1
+        return ops
+
+    def test_useful_episodes_find_misses(self):
+        proc = build(self._stream())
+        proc.run(until_committed=16 * 11)
+        engine = proc.runahead
+        assert engine.episodes >= 1
+        assert engine.useless_episodes < engine.episodes
+
+    def test_exit_clears_runahead_cache(self):
+        proc = build(self._stream(n=6))
+        proc.run(until_committed=6 * 11)
+        engine = proc.runahead
+        assert not engine.active
+        assert not engine._cache
+
+    def test_stats_monotone(self):
+        proc = build(self._stream(n=10))
+        proc.run(until_committed=10 * 11)
+        engine = proc.runahead
+        assert engine.pseudo_retired >= 0
+        assert 0 <= engine.useless_episodes <= engine.episodes
+
+    def test_committed_equals_trace_despite_episodes(self):
+        ops = self._stream(n=10)
+        proc = build(ops)
+        proc.run(until_committed=len(ops))
+        assert proc.stats.committed_uops == len(ops)
+        # pseudo-retired work is NOT architectural commits
+        assert proc.committed_total == len(ops)

@@ -1,0 +1,176 @@
+"""Statistics: histograms, MLP computation, counters, aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    IntervalHistogram,
+    SimStats,
+    SimulationResult,
+    geometric_mean,
+    mlp_from_intervals,
+)
+
+
+class TestIntervalHistogram:
+    def test_binning(self):
+        h = IntervalHistogram(bin_width=8, max_value=32)
+        for v in (0, 7, 8, 31, 32, 100):
+            h.add(v)
+        assert h.bins[0] == 2     # 0 and 7
+        assert h.bins[1] == 1     # 8
+        assert h.bins[3] == 1     # 31
+        assert h.bins[4] == 2     # overflow: 32 and 100
+
+    def test_rejects_negative(self):
+        h = IntervalHistogram()
+        with pytest.raises(ValueError):
+            h.add(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalHistogram(bin_width=0)
+        with pytest.raises(ValueError):
+            IntervalHistogram(bin_width=16, max_value=8)
+
+    def test_mean(self):
+        h = IntervalHistogram()
+        h.add_all([10, 20, 30])
+        assert h.mean == 20
+
+    def test_fraction_below(self):
+        h = IntervalHistogram(bin_width=8, max_value=64)
+        h.add_all([0, 4, 9, 100])
+        assert h.fraction_below(8) == 0.5
+        assert h.fraction_below(16) == 0.75
+
+    def test_peak_bin(self):
+        h = IntervalHistogram(bin_width=8, max_value=64)
+        h.add_all([1, 2, 3, 50, 50])
+        assert h.peak_bin() == 0
+        assert h.peak_bin(skip_first=2) == 6   # 48-56
+
+    def test_rows_labels(self):
+        h = IntervalHistogram(bin_width=8, max_value=16)
+        rows = h.rows()
+        assert rows[0][0] == "0-8"
+        assert rows[-1][0] == ">=16"
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_count_conserved(self, values):
+        h = IntervalHistogram(bin_width=8, max_value=128)
+        h.add_all(values)
+        assert sum(h.bins) == h.count == len(values)
+
+
+class TestMLP:
+    def test_empty(self):
+        assert mlp_from_intervals([]) == 0.0
+
+    def test_serial_misses_mlp_one(self):
+        assert mlp_from_intervals([(0, 300), (300, 600)]) == 1.0
+
+    def test_fully_overlapped(self):
+        assert mlp_from_intervals([(0, 300), (0, 300)]) == 2.0
+
+    def test_partial_overlap(self):
+        mlp = mlp_from_intervals([(0, 300), (150, 450)])
+        assert mlp == pytest.approx(600 / 450)
+
+    def test_unsorted_input(self):
+        assert mlp_from_intervals([(300, 600), (0, 300)]) == 1.0
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 300)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_mlp_bounds(self, raw):
+        """Property: 1 <= MLP <= number of misses."""
+        intervals = [(s, s + d) for s, d in raw]
+        mlp = mlp_from_intervals(intervals)
+        assert 1.0 <= mlp <= len(intervals) + 1e-9
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestSimStats:
+    def test_ipc(self):
+        s = SimStats()
+        assert s.ipc == 0.0
+        s.cycles, s.committed_uops = 100, 250
+        assert s.ipc == 2.5
+
+    def test_level_residency(self):
+        s = SimStats()
+        s.note_level_cycles(1, 70)
+        s.note_level_cycles(3, 30)
+        res = s.level_residency()
+        assert res == {1: 0.7, 3: 0.3}
+
+    def test_mispredict_distance(self):
+        s = SimStats()
+        s.committed_uops = 100
+        s.note_mispredict_commit()
+        s.committed_uops = 350
+        s.note_mispredict_commit()
+        assert s.mispredict_distances == [100, 250]
+        assert s.average_mispredict_distance() == 175
+
+    def test_mispredict_distance_no_mispredicts(self):
+        s = SimStats()
+        s.committed_uops = 5000
+        assert s.average_mispredict_distance() == 5000.0
+
+    def test_miss_intervals_sorted(self):
+        s = SimStats()
+        s.l2_miss_cycles = [50, 10, 30]
+        assert s.miss_intervals() == [20, 20]
+
+    def test_reset(self):
+        s = SimStats()
+        s.committed_uops = 10
+        s.note_level_cycles(2, 5)
+        s.activity.fetches = 7
+        s.reset()
+        assert s.committed_uops == 0
+        assert s.level_cycles == {}
+        assert s.activity.fetches == 0
+
+
+class TestSimulationResult:
+    def _result(self, ipc):
+        return SimulationResult(program="x", model="fixed", level=1,
+                                cycles=1000, instructions=int(1000 * ipc),
+                                ipc=ipc, avg_load_latency=5.0,
+                                mispredict_rate=0.01, mlp=2.0)
+
+    def test_speedup(self):
+        assert self._result(2.0).speedup_over(self._result(1.0)) == 2.0
+
+    def test_speedup_zero_base(self):
+        with pytest.raises(ValueError):
+            self._result(1.0).speedup_over(self._result(0.0))
+
+    def test_summary_line(self):
+        line = self._result(1.5).summary_line()
+        assert "x" in line and "1.500" in line

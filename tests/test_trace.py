@@ -1,0 +1,76 @@
+"""Trace container and wrong-path synthesis."""
+
+from repro.isa import OpClass
+from repro.workloads import Trace, WrongPathSynthesizer
+
+from tests.conftest import ialu, load, make_trace
+
+
+class TestTrace:
+    def test_len_and_indexing(self):
+        trace = make_trace([ialu(0, dst=1), ialu(1, dst=2)])
+        assert len(trace) == 2
+        assert trace[1].dst == 2
+
+    def test_op_counts(self):
+        trace = make_trace([ialu(0, dst=1), load(1, dst=2, addr=0x1000)])
+        counts = trace.op_counts()
+        assert counts == {"IALU": 1, "LOAD": 1}
+
+    def test_load_fraction(self):
+        trace = make_trace([ialu(0, dst=1), load(1, dst=2, addr=0x1000)])
+        assert trace.load_fraction() == 0.5
+        assert make_trace([]).load_fraction() == 0.0
+
+
+class TestWrongPathSynthesizer:
+    def test_deterministic(self):
+        s = WrongPathSynthesizer(seed=42, data_base=0x1000, data_size=4096)
+        a = [s.op_at(0x400100, k) for k in range(50)]
+        b = [s.op_at(0x400100, k) for k in range(50)]
+        for x, y in zip(a, b):
+            assert (x.pc, x.op, x.addr) == (y.pc, y.op, y.addr)
+
+    def test_different_pc_different_stream(self):
+        s = WrongPathSynthesizer(seed=42, data_base=0x1000, data_size=4096)
+        a = [s.op_at(0x400100, k).op for k in range(30)]
+        b = [s.op_at(0x400900, k).op for k in range(30)]
+        assert a != b
+
+    def test_load_fraction_about_one_fifth(self):
+        s = WrongPathSynthesizer(seed=42, data_base=0x1000,
+                                 data_size=1 << 20)
+        ops = [s.op_at(0x400100, k) for k in range(2000)]
+        loads = sum(1 for op in ops if op.op is OpClass.LOAD)
+        assert 0.1 < loads / len(ops) < 0.3
+
+    def test_loads_target_hot_region_mostly(self):
+        """Most wrong-path loads touch the warm region; only a small
+        minority stray into cold data (Fig 11 pollution realism)."""
+        s = WrongPathSynthesizer(seed=42, data_base=0x10_0000,
+                                 data_size=1 << 20, hot_base=0x80_0000,
+                                 hot_size=8192)
+        addrs = [s.op_at(0x400100, k).addr for k in range(4000)
+                 if s.op_at(0x400100, k).op is OpClass.LOAD]
+        cold = [a for a in addrs if a < 0x80_0000]
+        assert addrs
+        assert len(cold) / len(addrs) < 0.1
+
+    def test_addresses_in_declared_regions(self):
+        s = WrongPathSynthesizer(seed=1, data_base=0x10_0000,
+                                 data_size=4096, hot_base=0x80_0000,
+                                 hot_size=4096)
+        for k in range(500):
+            op = s.op_at(0x400000, k)
+            if op.op is OpClass.LOAD:
+                in_cold = 0x10_0000 <= op.addr < 0x10_0000 + 4096
+                in_hot = 0x80_0000 <= op.addr < 0x80_0000 + 4096
+                assert in_cold or in_hot
+
+    def test_branches_always_taken_forward(self):
+        s = WrongPathSynthesizer(seed=42, data_base=0x1000, data_size=4096)
+        branches = [s.op_at(0x400100, k) for k in range(2000)]
+        branches = [op for op in branches if op.op is OpClass.BRANCH]
+        assert branches
+        for op in branches:
+            assert op.taken and op.target > op.pc

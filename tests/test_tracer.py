@@ -1,0 +1,85 @@
+"""Pipeline lifecycle tracer."""
+
+import pytest
+
+from repro.config import base_config
+from repro.pipeline import PipelineTracer, Processor
+
+from tests.conftest import DATA_BASE, ialu, load, make_trace, warm_icache
+
+
+def traced_run(ops, capacity=100):
+    proc = Processor(base_config(), make_trace(ops))
+    warm_icache(proc)
+    tracer = PipelineTracer(proc, capacity=capacity)
+    proc.run(until_committed=len(ops))
+    return tracer
+
+
+class TestTracer:
+    def test_capacity_validation(self):
+        proc = Processor(base_config(), make_trace([ialu(0, dst=1)]))
+        with pytest.raises(ValueError):
+            PipelineTracer(proc, capacity=0)
+
+    def test_records_every_commit(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(20)]
+        tracer = traced_run(ops)
+        assert tracer.total_committed == 20
+        assert len(tracer.records) == 20
+
+    def test_capacity_bounds_records(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(50)]
+        tracer = traced_run(ops, capacity=10)
+        assert tracer.total_committed == 50
+        assert len(tracer.records) == 10
+        assert tracer.records[-1].seq > tracer.records[0].seq
+
+    def test_lifecycle_ordering(self):
+        """fetch <= dispatch <= issue <= complete <= commit, always."""
+        ops = [ialu(0, dst=1)]
+        ops += [ialu(i, dst=1, srcs=(1,)) for i in range(1, 15)]
+        ops.append(load(15, dst=2, addr=DATA_BASE + 0x40000))
+        tracer = traced_run(ops)
+        for r in tracer.records:
+            assert r.fetch <= r.dispatch <= r.issue
+            assert r.issue < r.complete <= r.commit
+
+    def test_l2_miss_flag(self):
+        ops = [load(0, dst=1, addr=DATA_BASE + 0x40000)]
+        tracer = traced_run(ops)
+        assert tracer.records[0].l2_miss
+        assert tracer.records[0].latency >= 300
+
+    def test_latency_metrics(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(20)]
+        tracer = traced_run(ops)
+        assert tracer.average_latency() > 0
+        assert tracer.average_queue_time() >= 0
+
+    def test_slowest_sorted(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(10)]
+        ops.append(load(10, dst=1, addr=DATA_BASE + 0x40000))
+        tracer = traced_run(ops)
+        slowest = tracer.slowest(3)
+        assert slowest[0].latency >= slowest[-1].latency
+        assert slowest[0].op_name == "LOAD"
+
+    def test_render(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(5)]
+        tracer = traced_run(ops)
+        text = tracer.render()
+        assert "IALU" in text
+        assert len(text.splitlines()) == 6   # header + 5 rows
+
+    def test_render_last_n(self):
+        ops = [ialu(i, dst=1 + i % 8) for i in range(9)]
+        tracer = traced_run(ops)
+        assert len(tracer.render(last=3).splitlines()) == 4
+
+    def test_empty_tracer_metrics(self):
+        proc = Processor(base_config(), make_trace([ialu(0, dst=1)]))
+        tracer = PipelineTracer(proc)
+        assert tracer.average_latency() == 0.0
+        assert tracer.average_queue_time() == 0.0
+        assert tracer.slowest() == []

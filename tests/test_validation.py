@@ -1,0 +1,36 @@
+"""The built-in reproduction self-check."""
+
+import pytest
+
+from repro.experiments.runner import Settings
+from repro.validation import Check, validate
+
+TINY = Settings(all_programs=False, warmup=1_500, measure=4_000)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate(settings=TINY, verbose=False)
+
+
+class TestValidate:
+    def test_all_claims_hold_at_tiny_scale(self, checks):
+        failed = [c.name for c in checks if not c.passed]
+        assert not failed, f"failed claims: {failed}"
+
+    def test_covers_the_headline_figures(self, checks):
+        names = {c.name.split(".")[0] for c in checks}
+        assert {"table3", "fig04", "fig07", "fig09", "fig12"} <= names
+
+    def test_checks_carry_detail(self, checks):
+        for check in checks:
+            assert check.claim and check.detail
+
+    def test_verbose_prints(self, capsys):
+        validate(settings=TINY, verbose=True)
+        out = capsys.readouterr().out
+        assert "PASS" in out and "claims hold" in out
+
+    def test_check_dataclass(self):
+        check = Check(name="x", claim="y", passed=True, detail="z")
+        assert check.passed

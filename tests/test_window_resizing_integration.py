@@ -1,0 +1,105 @@
+"""Dynamic window resizing integrated with the pipeline."""
+
+import pytest
+
+from repro.config import base_config, dynamic_config, fixed_config
+from repro.pipeline import Processor, simulate
+
+from tests.conftest import (
+    DATA_BASE,
+    ialu,
+    load,
+    make_trace,
+    warm_icache,
+)
+
+
+def missing_burst_trace(n_bursts=6, loads_per_burst=10, gap_ops=400):
+    """Clusters of missing loads separated by long compute stretches —
+    the access pattern the controller is designed for."""
+    ops = []
+    idx = 0
+    addr = DATA_BASE + 0x100000
+    for burst in range(n_bursts):
+        for i in range(loads_per_burst):
+            ops.append(load(idx, dst=1 + (i % 8), addr=addr))
+            addr += 0x10000
+            idx += 1
+        for i in range(gap_ops):
+            ops.append(ialu(idx, dst=1 + (i % 8)))
+            idx += 1
+    return ops
+
+
+class TestLevelTransitions:
+    def _run_dynamic(self, ops, max_level=3):
+        proc = Processor(dynamic_config(max_level), make_trace(ops))
+        warm_icache(proc)
+        proc.run(until_committed=len(ops))
+        return proc
+
+    def test_misses_raise_level(self):
+        proc = self._run_dynamic(missing_burst_trace())
+        assert proc.stats.enlarge_transitions >= 1
+        assert 3 in proc.stats.level_cycles
+
+    def test_quiet_period_lowers_level(self):
+        proc = self._run_dynamic(missing_burst_trace(gap_ops=3000))
+        assert proc.stats.shrink_transitions >= 1
+        assert proc.stats.level_cycles.get(1, 0) > 0
+
+    def test_compute_only_stays_level1(self):
+        ops = [ialu(i, dst=1 + (i % 8)) for i in range(2000)]
+        proc = self._run_dynamic(ops)
+        assert proc.stats.enlarge_transitions == 0
+        assert proc.stats.level_cycles == {1: proc.stats.cycles}
+
+    def test_level_capped_at_max(self):
+        proc = self._run_dynamic(missing_burst_trace(), max_level=2)
+        assert 3 not in proc.stats.level_cycles
+        assert proc.window.iq.max_capacity == 160
+
+    def test_transition_penalty_stalls_allocation(self):
+        proc = self._run_dynamic(missing_burst_trace())
+        assert proc.stats.transition_stall_cycles >= \
+            10 * proc.stats.enlarge_transitions
+
+    def test_occupancy_bounded_by_current_capacity(self):
+        proc = self._run_dynamic(missing_burst_trace())
+        # closing invariant; violations would have raised in allocate()
+        assert proc.window.rob.peak_occupancy <= proc.window.rob.max_capacity
+
+
+class TestModelEquivalences:
+    def test_dynamic_max1_equals_fixed1(self, gcc_trace):
+        """With max level 1 the controller can never act: timing must be
+        bit-identical to the fixed base processor."""
+        a = simulate(fixed_config(1), gcc_trace, warmup=2000, measure=5000)
+        b = simulate(dynamic_config(1), gcc_trace, warmup=2000, measure=5000)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+
+    def test_dynamic_tracks_best_fixed_memory(self, libquantum_trace):
+        fix1 = simulate(fixed_config(1), libquantum_trace,
+                        warmup=2000, measure=6000)
+        fix3 = simulate(fixed_config(3), libquantum_trace,
+                        warmup=2000, measure=6000)
+        dyn = simulate(dynamic_config(3), libquantum_trace,
+                       warmup=2000, measure=6000)
+        assert fix3.ipc > 1.3 * fix1.ipc          # window pays here
+        assert dyn.ipc > 0.85 * fix3.ipc          # resizing keeps most
+
+    def test_dynamic_tracks_base_compute(self, gcc_trace):
+        fix1 = simulate(fixed_config(1), gcc_trace, warmup=2000,
+                        measure=6000)
+        fix3 = simulate(fixed_config(3), gcc_trace, warmup=2000,
+                        measure=6000)
+        dyn = simulate(dynamic_config(3), gcc_trace, warmup=2000,
+                       measure=6000)
+        assert fix3.ipc < 0.95 * fix1.ipc          # pipelining hurts here
+        assert dyn.ipc > 0.9 * fix1.ipc            # resizing avoids it
+
+    def test_level_residency_sums_to_one(self, omnetpp_trace):
+        dyn = simulate(dynamic_config(3), omnetpp_trace, warmup=2000,
+                       measure=6000)
+        assert sum(dyn.level_residency.values()) == pytest.approx(1.0)

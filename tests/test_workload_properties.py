@@ -1,0 +1,97 @@
+"""Property-based workload generator tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    NUM_LOGICAL_REGS,
+    OpClass,
+    REG_INVALID,
+)
+from repro.workloads import (
+    MemoryBehavior,
+    PhaseSpec,
+    ProgramProfile,
+    generate_trace,
+)
+
+
+@st.composite
+def phase_specs(draw):
+    load = draw(st.floats(0.05, 0.35))
+    store = draw(st.floats(0.0, min(0.2, 0.9 - load)))
+    mem = MemoryBehavior(
+        stride=draw(st.floats(0.0, 0.5)),
+        chase=draw(st.floats(0.0, 0.2)),
+        scatter=draw(st.floats(0.0, 0.5)),
+        hot=draw(st.floats(0.1, 1.0)),
+        working_set_bytes=draw(st.sampled_from(
+            [64 * 1024, 1 << 20, 8 << 20])),
+        hot_set_bytes=draw(st.sampled_from([4096, 16384, 65536])),
+        stream_bytes=draw(st.sampled_from([1 << 20, 16 << 20])),
+        stride_bytes=draw(st.sampled_from([8, 16, 64])))
+    return PhaseSpec(
+        name="p", length=draw(st.integers(200, 1500)),
+        load_frac=round(load, 3), store_frac=round(store, 3),
+        fp_frac=draw(st.floats(0.0, 0.9)),
+        chain_depth=draw(st.integers(1, 5)),
+        noisy_branch_frac=draw(st.floats(0.0, 0.4)),
+        blocks=draw(st.integers(2, 6)),
+        block_ops=draw(st.integers(6, 20)),
+        mem=mem)
+
+
+@st.composite
+def profiles(draw):
+    phases = tuple(draw(st.lists(phase_specs(), min_size=1, max_size=3)))
+    return ProgramProfile(name="prop", category="int",
+                          memory_intensive=False, phases=phases)
+
+
+class TestGeneratedTraceInvariants:
+    @given(profiles(), st.integers(100, 2500), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_every_op_well_formed(self, profile, n, seed):
+        trace = generate_trace(profile, n, seed=seed)
+        assert len(trace.ops) == n
+        for op in trace.ops:
+            assert op.pc % 4 == 0 and op.pc > 0
+            if op.dst != REG_INVALID:
+                assert 0 <= op.dst < NUM_LOGICAL_REGS
+            for src in op.srcs:
+                assert 0 <= src < NUM_LOGICAL_REGS
+            if op.is_mem:
+                assert op.addr % 8 == 0
+                assert op.size == 8
+            if op.is_branch:
+                assert op.target > 0
+                assert op.target % 4 == 0
+
+    @given(profiles(), st.integers(300, 1500), st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_branch_targets_within_phase_code(self, profile, n, seed):
+        trace = generate_trace(profile, n, seed=seed)
+        for op in trace.ops:
+            if op.is_branch and op.taken and op.target < op.pc:
+                # backward branches only jump to a loop head
+                assert op.pc - op.target < 0x1_0000
+
+    @given(profiles(), st.integers(200, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_warm_regions_cover_hot_sets(self, profile, n):
+        trace = generate_trace(profile, n, seed=1)
+        hot_regions = [r for r in trace.warm_regions if r[2]]
+        # every phase with hot traffic declares a warm (L1-able) region
+        hot_phases = [p for p in profile.phases if p.mem.weights()[3] > 0]
+        assert len(hot_regions) >= min(1, len(hot_phases))
+
+    @given(profiles(), st.integers(500, 1500))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_simulates(self, profile, n):
+        """Anything the generator emits, the pipeline can execute."""
+        from repro.config import base_config
+        from repro.pipeline import Processor
+        trace = generate_trace(profile, n, seed=1)
+        proc = Processor(base_config(), trace)
+        proc.prewarm()
+        proc.run(until_committed=n, max_cycles=3_000_000)
+        assert proc.committed_total == n
