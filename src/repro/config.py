@@ -15,8 +15,11 @@ between models, hashed, compared in tests, and tweaked with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from enum import Enum
+from functools import lru_cache
 
 
 class ModelKind(Enum):
@@ -249,6 +252,30 @@ class ProcessorConfig:
         """A copy of this configuration running a different model."""
         return replace(self, model=model,
                        level=self.level if level is None else level)
+
+
+def _encode_enum(obj: object) -> object:
+    if isinstance(obj, Enum):
+        return obj.value
+    raise TypeError(f"cannot canonicalise {obj!r} in a config fingerprint")
+
+
+@lru_cache(maxsize=None)
+def config_fingerprint(config: ProcessorConfig) -> str:
+    """Stable content hash over *every* field of a processor config.
+
+    Canonical form: the nested-dataclass dict, JSON-encoded with sorted
+    keys (enums by value, tuples as lists).  Two configs share a
+    fingerprint iff they are field-for-field identical, so the
+    fingerprint is a collision-free simulation cache key component —
+    unlike hand-picked field subsets, it cannot silently alias configs
+    that differ in DRAM latency, prefetcher kind, or any future field.
+
+    Configs are frozen (hashable), so fingerprints are memoised.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True,
+                         default=_encode_enum, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def base_config() -> ProcessorConfig:

@@ -4,16 +4,31 @@ Usage::
 
     python -m repro.experiments [--selected] [--measure N] [--warmup N]
                                 [--only fig07,fig12] [--seed N]
+                                [--jobs N] [--cache-dir DIR]
+                                [--no-cache] [--clear-cache]
+
+The campaign is planned first (a dry pass collects every simulation the
+selected experiments will request), the de-duplicated jobs are fanned
+out over ``--jobs`` worker processes into a content-addressed result
+store, and the experiment modules then run unchanged against the warm
+store.  A re-run with an unchanged configuration simulates nothing.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.cache import (
+    ResultStore,
+    default_cache_dir,
+    set_active_store,
+)
+from repro.experiments.parallel import execute_campaign, plan_campaign
 from repro.experiments.runner import Settings, Sweep
 
 
@@ -28,6 +43,17 @@ def main(argv=None) -> int:
                         help="comma-separated experiment ids")
     parser.add_argument("--csv-dir", type=str, default="",
                         help="also export each result as CSV+JSON here")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the simulation fan-out "
+                             "(default: all cores; 1 = fully serial)")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="on-disk result store location (default: "
+                             "$REPRO_CACHE_DIR or .simcache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="keep results in memory only; nothing is "
+                             "read from or written to disk")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="wipe the on-disk result store first")
     args = parser.parse_args(argv)
 
     settings = Settings(all_programs=not args.selected, warmup=args.warmup,
@@ -39,21 +65,57 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
-    sweep = Sweep(settings)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or default_cache_dir())
+    store = ResultStore(cache_dir)
+    if args.clear_cache:
+        removed = store.clear_disk()
+        print(f"cache: cleared {removed} stored results")
+
     start = time.time()
-    results = []
-    for exp_id in wanted:
-        module = importlib.import_module(EXPERIMENTS[exp_id])
-        t0 = time.time()
-        result = module.run(sweep=sweep)
-        results.append(result)
-        print(result.as_text())
-        print(f"[{exp_id}: {time.time() - t0:.1f}s]\n")
+    set_active_store(store)
+    try:
+        recorder = plan_campaign(wanted, settings)
+        report = execute_campaign(recorder, store, jobs=jobs)
+        if report.planned:
+            print(f"campaign: {report.summary()}\n")
+
+        sweep = Sweep(settings, store=store)
+        results = []
+        for exp_id in wanted:
+            module = importlib.import_module(EXPERIMENTS[exp_id])
+            t0 = time.time()
+            hits0, sims0 = sweep.cache_hits, sweep.sim_runs
+            result = module.run(sweep=sweep)
+            results.append(result)
+            print(result.as_text())
+            hits = sweep.cache_hits - hits0
+            sims = sweep.sim_runs - sims0
+            print(f"[{exp_id}: {time.time() - t0:.1f}s, "
+                  f"cache {hits} hit / {sims} simulated]\n")
+    finally:
+        set_active_store(None)
     if args.csv_dir:
         from repro.experiments.export import export_results
         written = export_results(results, args.csv_dir)
         print(f"exported {len(written)} files to {args.csv_dir}")
-    print(f"total: {time.time() - start:.1f}s")
+    summary = [f"total: {time.time() - start:.1f}s",
+               f"cache {sweep.cache_hits} hit / {sweep.sim_runs} simulated "
+               f"this pass"]
+    if report.executed:
+        summary.append(
+            f"fan-out: {report.executed} jobs on {report.workers} worker"
+            + ("s" if report.workers != 1 else "")
+            + f" at {report.utilisation():.0%} utilisation "
+            + f"({report.busy_seconds:.1f}s busy / "
+            + f"{report.wall_seconds:.1f}s wall)")
+    elif report.planned:
+        summary.append("fan-out: warm cache, nothing simulated")
+    print(" | ".join(summary))
     return 0
 
 

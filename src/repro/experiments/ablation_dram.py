@@ -36,10 +36,8 @@ def run(settings: Settings | None = None,
     for program in sweep.settings.memory_programs():
         base = sweep.base(program)
         dyn = sweep.dynamic(program)
-        base_b = sweep.run(program, _banked(base_config()),
-                           key_extra=("dram", "base"))
-        dyn_b = sweep.run(program, _banked(dynamic_config(3)),
-                          key_extra=("dram", "dyn"))
+        base_b = sweep.run(program, _banked(base_config()))
+        dyn_b = sweep.run(program, _banked(dynamic_config(3)))
         r_flat = dyn.ipc / base.ipc
         r_banked = dyn_b.ipc / base_b.ipc
         flat.append(r_flat)

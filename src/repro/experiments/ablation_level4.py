@@ -37,7 +37,7 @@ def run(settings: Settings | None = None,
         row = [program]
         for max_level in (3, 4):
             config = extended_dynamic_config(max_level)
-            res = sweep.run(program, config, key_extra=("ext", max_level))
+            res = sweep.run(program, config)
             ratio = res.ipc / base_ipc
             ratios[max_level].append(ratio)
             row.append(f"{ratio:.2f}")

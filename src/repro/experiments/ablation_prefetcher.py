@@ -43,11 +43,9 @@ def run(settings: Settings | None = None,
         cells_dyn = []
         for kind in KINDS:
             base_run = sweep.run(program,
-                                 _with_prefetcher(base_config(), kind),
-                                 key_extra=("pf", "base", kind))
+                                 _with_prefetcher(base_config(), kind))
             dyn_run = sweep.run(program,
-                                _with_prefetcher(dynamic_config(3), kind),
-                                key_extra=("pf", "dyn", kind))
+                                _with_prefetcher(dynamic_config(3), kind))
             base_ratio[kind].append(base_run.ipc / ref)
             dyn_ratio[kind].append(dyn_run.ipc / base_run.ipc)
             row.append(f"{base_run.ipc / ref:.2f}")

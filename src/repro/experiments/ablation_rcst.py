@@ -31,10 +31,8 @@ def run(settings: Settings | None = None,
     ratios: dict[str, list[float]] = {"with": [], "without": []}
     for program in sweep.settings.memory_programs():
         base_ipc = sweep.base(program).ipc
-        r_with = sweep.run(program, with_rcst,
-                           key_extra=("rcst", True)).ipc / base_ipc
-        r_without = sweep.run(program, without,
-                              key_extra=("rcst", False)).ipc / base_ipc
+        r_with = sweep.run(program, with_rcst).ipc / base_ipc
+        r_without = sweep.run(program, without).ipc / base_ipc
         ratios["with"].append(r_with)
         ratios["without"].append(r_without)
         result.rows.append([program, f"{r_with:.2f}", f"{r_without:.2f}"])

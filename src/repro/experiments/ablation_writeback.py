@@ -35,10 +35,8 @@ def run(settings: Settings | None = None,
     for program in sweep.settings.memory_programs():
         base = sweep.base(program)
         dyn = sweep.dynamic(program)
-        base_wb = sweep.run(program, _with_writebacks(base_config()),
-                            key_extra=("wb", "base"))
-        dyn_wb = sweep.run(program, _with_writebacks(dynamic_config(3)),
-                           key_extra=("wb", "dyn"))
+        base_wb = sweep.run(program, _with_writebacks(base_config()))
+        dyn_wb = sweep.run(program, _with_writebacks(dynamic_config(3)))
         r0 = dyn.ipc / base.ipc
         r1 = dyn_wb.ipc / base_wb.ipc
         no_wb.append(r0)

@@ -1,0 +1,339 @@
+"""Content-addressed simulation result store and campaign planning hooks.
+
+Two pieces live here:
+
+* :class:`ResultStore` — a two-layer (in-memory + on-disk) cache of
+  :class:`~repro.stats.SimulationResult` records, keyed by a sha256
+  fingerprint of *everything that determines the outcome of a run*:
+  the simulator version tag, the program, the trace seed and sample
+  sizes, the full processor configuration and the policy construction
+  parameters.  Re-running the suite therefore only simulates what
+  changed; everything else is a disk hit.
+
+* :class:`JobRecorder` + the planning-mode hooks — a campaign is
+  executed twice.  The *planning pass* runs every experiment module
+  with a recorder active: :meth:`Sweep.run <repro.experiments.runner.
+  Sweep.run>` records each requested simulation as a :class:`JobSpec`
+  and returns a placeholder result, so the pass is nearly free.  The
+  recorded (and de-duplicated) jobs are then fanned out over worker
+  processes (:mod:`repro.experiments.parallel`), the store is
+  hydrated, and the *real pass* runs the experiment modules unchanged
+  — every ``Sweep.run`` is now a cache hit.
+
+Planning is best-effort: an experiment whose post-processing chokes on
+placeholder numbers simply contributes no pre-planned jobs and falls
+back to simulating serially during the real pass.  Correctness never
+depends on the planning pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import ProcessorConfig, config_fingerprint
+from repro.core.policies import ResizingPolicy
+from repro.stats import SimulationResult
+from repro.stats.counters import SimStats
+
+#: Files written by the on-disk layer carry this suffix.
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> str:
+    """Default on-disk store location (override with ``REPRO_CACHE_DIR``)."""
+    return os.environ.get("REPRO_CACHE_DIR", ".simcache")
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+
+
+def _stable_repr(value: object, depth: int = 0) -> str:
+    """A ``repr`` that is stable across processes and interpreter runs.
+
+    The default ``repr`` of a plain object embeds its memory address,
+    which would make disk-cache keys differ between runs.  Containers
+    and objects are therefore walked structurally (depth-limited — a
+    policy's constructor state is shallow).
+    """
+    if depth > 4:
+        return "<deep>"
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_stable_repr(v, depth + 1) for v in value)
+        return f"[{inner}]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_stable_repr(k, depth + 1)}:{_stable_repr(v, depth + 1)}"
+            for k, v in sorted(value.items(), key=repr))
+        return f"{{{inner}}}"
+    attrs = getattr(value, "__dict__", None)
+    if attrs is None and hasattr(type(value), "__slots__"):
+        attrs = {name: getattr(value, name)
+                 for name in type(value).__slots__ if hasattr(value, name)}
+    if attrs is not None:
+        inner = ",".join(f"{k}={_stable_repr(v, depth + 1)}"
+                         for k, v in sorted(attrs.items()))
+        return f"{type(value).__qualname__}({inner})"
+    return f"<{type(value).__qualname__}>"
+
+
+def policy_fingerprint(policy: ResizingPolicy | None) -> str:
+    """Fingerprint of a policy's class and construction-time state.
+
+    Policies are always handed to ``Sweep.run`` freshly constructed, so
+    their attributes at this point *are* their constructor parameters.
+    """
+    if policy is None:
+        return "default"
+    cls = type(policy)
+    payload = f"{cls.__module__}.{cls.__qualname__}|{_stable_repr(policy)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_key(program: str, config: ProcessorConfig, *,
+               seed: int, warmup: int, measure: int, trace_ops: int,
+               policy: ResizingPolicy | None = None,
+               key_extra: object = None) -> str:
+    """Content-address of one simulation run.
+
+    Everything that can change the produced :class:`SimulationResult`
+    participates: the simulator version tag (bumped whenever a change
+    alters timing behaviour), the workload identity (program + seed +
+    trace length), the sample sizes, the full configuration fingerprint
+    and the policy fingerprint.  ``key_extra`` remains for callers that
+    vary something not visible in config or policy (none today — kept
+    for forward compatibility with the in-memory key).
+    """
+    from repro.pipeline.core import SIM_VERSION
+    payload = "|".join((
+        SIM_VERSION, program, str(seed), str(warmup), str(measure),
+        str(trace_ops), config_fingerprint(config),
+        policy_fingerprint(policy), _stable_repr(key_extra)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the store
+
+
+class ResultStore:
+    """Two-layer content-addressed store of simulation results.
+
+    Layer 1 is a plain dict; layer 2 (optional) a directory of pickle
+    files, sharded by the first two key characters.  Disk writes are
+    atomic (temp file + ``os.replace``) so a campaign killed mid-write
+    never leaves a truncated entry — unreadable files are treated as
+    misses and overwritten.
+    """
+
+    def __init__(self, directory: str | None = None) -> None:
+        self.directory = directory
+        self._mem: dict[str, SimulationResult] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + _SUFFIX)
+
+    def get(self, key: str) -> SimulationResult | None:
+        result = self._mem.get(key)
+        if result is not None:
+            self.memory_hits += 1
+            return result
+        if self.directory is not None:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    result = pickle.load(fh)
+            except Exception:
+                # unpickling garbage raises whatever opcode it trips
+                # over (ValueError, EOFError, UnpicklingError, ...) —
+                # any unreadable entry is simply a miss
+                result = None
+            if isinstance(result, SimulationResult):
+                self._mem[key] = result
+                self.disk_hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def contains(self, key: str) -> bool:
+        """Like :meth:`get` but without counting a hit or a miss."""
+        if key in self._mem:
+            return True
+        if self.directory is None:
+            return False
+        return os.path.exists(self._path(key))
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._mem[key] = result
+        if self.directory is None:
+            return
+        path = self._path(key)
+        shard = os.path.dirname(path)
+        os.makedirs(shard, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear_disk(self) -> int:
+        """Delete every on-disk entry; returns how many were removed."""
+        removed = 0
+        if self.directory is None or not os.path.isdir(self.directory):
+            return removed
+        for shard in os.listdir(self.directory):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(_SUFFIX):
+                    os.unlink(os.path.join(shard_dir, name))
+                    removed += 1
+            if not os.listdir(shard_dir):
+                os.rmdir(shard_dir)
+        return removed
+
+    def disk_entries(self) -> int:
+        """Number of entries currently on disk."""
+        count = 0
+        if self.directory is None or not os.path.isdir(self.directory):
+            return count
+        for shard in os.listdir(self.directory):
+            shard_dir = os.path.join(self.directory, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(1 for n in os.listdir(shard_dir)
+                             if n.endswith(_SUFFIX))
+        return count
+
+
+# ----------------------------------------------------------------------
+# campaign planning
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation to run, self-contained enough to ship to a worker."""
+
+    key: str
+    program: str
+    config: ProcessorConfig
+    policy: ResizingPolicy | None
+    seed: int
+    warmup: int
+    measure: int
+    trace_ops: int
+
+
+class JobRecorder:
+    """Collects the unique simulations a campaign will need."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, JobSpec] = {}
+
+    def record(self, spec: JobSpec) -> None:
+        self.jobs.setdefault(spec.key, spec)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def placeholder_result(program: str, config: ProcessorConfig) -> SimulationResult:
+    """A plausible stand-in returned by ``Sweep.run`` while planning.
+
+    Experiment modules post-process their results (speedup ratios,
+    geometric means, EDP ratios, Figure 11 line-usage shares, Figure 4
+    miss-interval histograms); the placeholder carries non-degenerate
+    values for all of those so the planning pass survives long enough
+    to record every job.  The numbers are never shown to anyone.
+    """
+    stats = SimStats()
+    stats.cycles = 1_000
+    stats.committed_uops = 1_000
+    stats.level_cycles = {config.level: 1_000}
+    stats.l2_miss_cycles = [100, 300, 600]
+    stats.demand_miss_intervals = [(100, 300)]
+    line_usage = {f"{src}_{use}": 1
+                  for src in ("corrpath", "wrongpath", "prefetch")
+                  for use in ("useful", "useless")}
+    return SimulationResult(
+        program=program,
+        model=config.model.value,
+        level=config.level,
+        cycles=1_000,
+        instructions=1_000,
+        ipc=1.0,
+        avg_load_latency=10.0,
+        mispredict_rate=0.01,
+        mlp=1.5,
+        level_residency={config.level: 1.0},
+        line_usage=line_usage,
+        memory_stats={
+            "l1i_accesses": 1_000, "l1i_misses": 10,
+            "l1d_accesses": 1_000, "l1d_misses": 10,
+            "l2_accesses": 100, "l2_misses": 10,
+            "dram_requests": 10, "prefetch_fills": 1,
+            "row_hit_rate": 0.5,
+        },
+        energy_nj=1.0,
+        edp=1_000.0,
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# module-level active store / recorder
+#
+# Module-level rather than per-Sweep because some experiments construct
+# their own Sweep instances internally (ablation_seeds builds one per
+# trace seed): a store or recorder installed here reaches those too.
+
+_active_store: ResultStore | None = None
+_active_recorder: JobRecorder | None = None
+
+
+def set_active_store(store: ResultStore | None) -> None:
+    """Install the store newly constructed ``Sweep`` instances pick up."""
+    global _active_store
+    _active_store = store
+
+
+def active_store() -> ResultStore | None:
+    return _active_store
+
+
+def active_recorder() -> JobRecorder | None:
+    return _active_recorder
+
+
+@contextmanager
+def recording(recorder: JobRecorder):
+    """Planning mode: ``Sweep.run`` records jobs instead of simulating."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _active_recorder = previous

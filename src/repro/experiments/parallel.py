@@ -1,0 +1,144 @@
+"""Parallel execution of simulation campaigns.
+
+The campaign planner walks the requested experiment modules in planning
+mode (see :mod:`repro.experiments.cache`), collecting every simulation
+any of them will request.  The de-duplicated jobs are then fanned out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` and the results
+hydrate the shared :class:`~repro.experiments.cache.ResultStore`, so the
+experiment modules afterwards run unchanged — and nearly instantly.
+
+Determinism: workers re-generate traces from ``(program, trace_ops,
+seed)`` with the same seeded generator the serial path uses, and results
+travel back via pickle, which round-trips float bits exactly.  A
+parallel campaign therefore produces bit-identical results to a serial
+one (``tests/test_parallel.py`` locks this in).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.energy import EnergyModel
+from repro.experiments.cache import (
+    JobRecorder,
+    JobSpec,
+    ResultStore,
+    recording,
+)
+from repro.pipeline import simulate
+from repro.stats import SimulationResult
+from repro.workloads import generate_trace, profile
+
+
+def plan_campaign(exp_ids, settings, experiments=None) -> JobRecorder:
+    """Dry-run the experiment modules, recording every simulation needed.
+
+    Planning is best-effort: an experiment that fails on placeholder
+    results simply contributes no jobs and will simulate serially
+    during the real pass.
+    """
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.runner import Sweep
+    experiments = experiments if experiments is not None else EXPERIMENTS
+    recorder = JobRecorder()
+    with recording(recorder):
+        for exp_id in exp_ids:
+            module = importlib.import_module(experiments[exp_id])
+            try:
+                module.run(sweep=Sweep(settings))
+            except Exception:
+                pass
+    return recorder
+
+
+#: Per-worker-process memo of generated traces: several jobs of one
+#: campaign share a (program, length, seed) trace, and regenerating it
+#: costs more than a simulation's margin.
+_TRACE_MEMO: dict[tuple, object] = {}
+
+
+def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
+    """Execute one simulation (in a worker process or inline)."""
+    started = time.perf_counter()
+    memo_key = (spec.program, spec.trace_ops, spec.seed)
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is None:
+        trace = generate_trace(profile(spec.program), n_ops=spec.trace_ops,
+                               seed=spec.seed)
+        _TRACE_MEMO[memo_key] = trace
+    result = simulate(spec.config, trace, warmup=spec.warmup,
+                      measure=spec.measure, policy=spec.policy)
+    EnergyModel().annotate(result, spec.config)
+    return spec.key, result, time.perf_counter() - started
+
+
+@dataclass
+class ExecutionReport:
+    """What the fan-out did, for the campaign summary line."""
+
+    planned: int = 0
+    already_cached: int = 0
+    executed: int = 0
+    workers: int = 1
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    per_program: dict[str, int] = field(default_factory=dict)
+
+    def utilisation(self) -> float:
+        """Fraction of worker capacity kept busy during the fan-out."""
+        if self.wall_seconds <= 0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.wall_seconds * self.workers))
+
+    def summary(self) -> str:
+        if not self.planned:
+            return "no simulations planned"
+        parts = [f"{self.planned} planned",
+                 f"{self.already_cached} cached",
+                 f"{self.executed} simulated"]
+        if self.executed:
+            parts.append(f"{self.workers} worker"
+                         + ("s" if self.workers != 1 else "")
+                         + f" at {self.utilisation():.0%} utilisation")
+        return ", ".join(parts)
+
+
+def execute_campaign(recorder: JobRecorder, store: ResultStore,
+                     jobs: int | None = None) -> ExecutionReport:
+    """Fan the recorded jobs out over worker processes into the store.
+
+    Jobs whose key already resolves in the store are skipped (this is
+    what makes a warm-cache re-run free).  With ``jobs=1`` everything
+    runs inline — no pool, no pickling — which is also the fallback
+    path platforms without ``fork`` can rely on.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    todo = [spec for spec in recorder.jobs.values()
+            if not store.contains(spec.key)]
+    report = ExecutionReport(planned=len(recorder.jobs),
+                             already_cached=len(recorder.jobs) - len(todo),
+                             executed=len(todo),
+                             workers=max(1, min(jobs, len(todo) or 1)))
+    if not todo:
+        return report
+    for spec in todo:
+        report.per_program[spec.program] = (
+            report.per_program.get(spec.program, 0) + 1)
+    wall_start = time.perf_counter()
+    if report.workers == 1:
+        for spec in todo:
+            key, result, busy = _run_job(spec)
+            store.put(key, result)
+            report.busy_seconds += busy
+    else:
+        with ProcessPoolExecutor(max_workers=report.workers) as pool:
+            for key, result, busy in pool.map(_run_job, todo):
+                store.put(key, result)
+                report.busy_seconds += busy
+    report.wall_seconds = time.perf_counter() - wall_start
+    return report

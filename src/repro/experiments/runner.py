@@ -20,12 +20,14 @@ from dataclasses import dataclass, field, replace
 from repro.config import (
     ProcessorConfig,
     base_config,
+    config_fingerprint,
     dynamic_config,
     fixed_config,
     ideal_config,
     runahead_config,
 )
 from repro.core.policies import ResizingPolicy
+import repro.experiments.cache as result_cache
 from repro.energy import EnergyModel
 from repro.pipeline import simulate
 from repro.stats import SimulationResult, geometric_mean
@@ -49,12 +51,17 @@ class Settings:
     warmup: int = 4_000
     measure: int = 15_000
     seed: int = 1
+    #: explicit program list overriding the above scope (tests and
+    #: quick spot-checks; empty = use ``all_programs``)
+    only_programs: tuple[str, ...] = ()
 
     @property
     def trace_ops(self) -> int:
         return self.warmup + self.measure + 1_000
 
     def programs(self) -> tuple[str, ...]:
+        if self.only_programs:
+            return self.only_programs
         if self.all_programs:
             return program_names()
         return SELECTED_MEMORY + SELECTED_COMPUTE
@@ -105,13 +112,24 @@ def render_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 class Sweep:
-    """Trace + simulation cache for one campaign."""
+    """Trace + simulation cache for one campaign.
 
-    def __init__(self, settings: Settings | None = None) -> None:
+    ``store`` (default: the module-wide active store, if one has been
+    installed — see :mod:`repro.experiments.cache`) adds an on-disk
+    content-addressed layer below the in-memory one, shared between
+    campaigns and worker processes.
+    """
+
+    def __init__(self, settings: Settings | None = None,
+                 store: "result_cache.ResultStore | None" = None) -> None:
         self.settings = settings or Settings()
         self._traces: dict[str, object] = {}
         self._results: dict[tuple, SimulationResult] = {}
         self.energy = EnergyModel()
+        self.store = store if store is not None else result_cache.active_store()
+        #: simulations answered from the store vs. actually executed
+        self.cache_hits = 0
+        self.sim_runs = 0
 
     def trace(self, program: str):
         trace = self._traces.get(program)
@@ -127,18 +145,50 @@ class Sweep:
     def run(self, program: str, config: ProcessorConfig,
             key_extra: object = None,
             policy: ResizingPolicy | None = None) -> SimulationResult:
-        """Simulate (or fetch from cache) one program on one config."""
-        key = (program, config.model.value, config.level,
-               config.l2.size_bytes, config.l2.assoc,
-               config.transition_penalty, key_extra)
+        """Simulate (or fetch from cache) one program on one config.
+
+        The cache key is derived from the *full* configuration
+        fingerprint (plus the policy's), so any config field change —
+        not just the handful an earlier key happened to enumerate —
+        yields a distinct entry.  ``key_extra`` remains for callers
+        that vary a policy object in ways they want keyed explicitly.
+        """
+        key = (program, config_fingerprint(config),
+               result_cache.policy_fingerprint(policy), key_extra)
         result = self._results.get(key)
-        if result is None:
-            result = simulate(config, self.trace(program),
-                              warmup=self.settings.warmup,
-                              measure=self.settings.measure,
-                              policy=policy)
-            self.energy.annotate(result, config)
+        if result is not None:
+            return result
+        settings = self.settings
+        skey = result_cache.result_key(
+            program, config, seed=settings.seed, warmup=settings.warmup,
+            measure=settings.measure, trace_ops=settings.trace_ops,
+            policy=policy, key_extra=key_extra)
+        recorder = result_cache.active_recorder()
+        if recorder is not None:
+            # Planning pass: record the job, hand back a placeholder.
+            recorder.record(result_cache.JobSpec(
+                key=skey, program=program, config=config, policy=policy,
+                seed=settings.seed, warmup=settings.warmup,
+                measure=settings.measure, trace_ops=settings.trace_ops))
+            result = result_cache.placeholder_result(program, config)
             self._results[key] = result
+            return result
+        store = self.store
+        if store is not None:
+            result = store.get(skey)
+            if result is not None:
+                self.cache_hits += 1
+                self._results[key] = result
+                return result
+        result = simulate(config, self.trace(program),
+                          warmup=settings.warmup,
+                          measure=settings.measure,
+                          policy=policy)
+        self.energy.annotate(result, config)
+        self.sim_runs += 1
+        if store is not None:
+            store.put(skey, result)
+        self._results[key] = result
         return result
 
     # convenience wrappers -------------------------------------------

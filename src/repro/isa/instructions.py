@@ -76,7 +76,8 @@ class MicroOp:
             for not-taken branches).
     """
 
-    __slots__ = ("pc", "op", "dst", "srcs", "addr", "size", "taken", "target")
+    __slots__ = ("pc", "op", "dst", "srcs", "addr", "size", "taken", "target",
+                 "is_load", "is_store", "is_mem", "is_branch")
 
     def __init__(self, pc: int, op: OpClass, dst: int = REG_INVALID,
                  srcs: tuple[int, ...] = (), addr: int = 0, size: int = 0,
@@ -89,22 +90,13 @@ class MicroOp:
         self.size = size
         self.taken = taken
         self.target = target
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in _MEM_OPS
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op is OpClass.BRANCH
+        # op-class predicates, precomputed: the pipeline hot loop reads
+        # these many times per op, so they are plain attributes rather
+        # than properties (a function call per read)
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_mem = op in _MEM_OPS
+        self.is_branch = op is OpClass.BRANCH
 
     def __repr__(self) -> str:
         parts = [f"pc={self.pc:#x}", self.op.name.lower()]

@@ -45,6 +45,7 @@ class Cache:
         self.name = name
         self.num_sets = config.num_sets
         self.line_bytes = config.line_bytes
+        self.assoc = config.assoc
         self._set_mask = self.num_sets - 1
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)]
@@ -67,8 +68,9 @@ class Cache:
         'hit' on a still-filling line is accounted as part of the original
         miss.
         """
-        laddr = self.line_addr(addr)
-        cset = self._sets[self._set_index(laddr)]
+        line_bytes = self.line_bytes
+        laddr = addr - (addr % line_bytes)
+        cset = self._sets[(laddr // line_bytes) & self._set_mask]
         line = cset.get(laddr)
         if line is not None and update_lru:
             cset.move_to_end(laddr)
@@ -81,13 +83,14 @@ class Cache:
         LRU position is refreshed and the resident record returned
         unchanged (a fill never downgrades an existing line).
         """
-        laddr = self.line_addr(addr)
-        cset = self._sets[self._set_index(laddr)]
+        line_bytes = self.line_bytes
+        laddr = addr - (addr % line_bytes)
+        cset = self._sets[(laddr // line_bytes) & self._set_mask]
         existing = cset.get(laddr)
         if existing is not None:
             cset.move_to_end(laddr)
             return existing
-        if len(cset) >= self.config.assoc:
+        if len(cset) >= self.assoc:
             __, victim = cset.popitem(last=False)
             self.evictions += 1
             if self._evict_hook is not None:
@@ -95,6 +98,39 @@ class Cache:
         line = CacheLine(laddr, ready_at, brought_by)
         cset[laddr] = line
         return line
+
+    def install_span(self, base: int, span: int, ready_at: int = 0,
+                     brought_by: int = 0, touched: bool = False) -> None:
+        """Install every line of ``[base, base + span)``.
+
+        Behaves exactly like calling :meth:`install` once per line (and,
+        when ``touched``, marking the resulting line touched); the bulk
+        form exists because prewarm installs tens of thousands of lines
+        and the per-call overhead dominates its cost.
+        """
+        line_bytes = self.line_bytes
+        set_mask = self._set_mask
+        sets = self._sets
+        assoc = self.assoc
+        evict_hook = self._evict_hook
+        for addr in range(base, base + span, line_bytes):
+            laddr = addr - (addr % line_bytes)
+            cset = sets[(laddr // line_bytes) & set_mask]
+            existing = cset.get(laddr)
+            if existing is not None:
+                cset.move_to_end(laddr)
+                if touched:
+                    existing.touched = True
+                continue
+            if len(cset) >= assoc:
+                __, victim = cset.popitem(last=False)
+                self.evictions += 1
+                if evict_hook is not None:
+                    evict_hook(victim)
+            line = CacheLine(laddr, ready_at, brought_by)
+            if touched:
+                line.touched = True
+            cset[laddr] = line
 
     def contains(self, addr: int) -> bool:
         """True if the line containing ``addr`` is resident (ignores LRU)."""

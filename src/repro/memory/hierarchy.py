@@ -124,6 +124,10 @@ class MemoryHierarchy:
         self.prefetch_fills = 0
         self.load_latency_sum = 0
         self.load_count = 0
+        # hit latencies, hoisted out of the per-access paths
+        self._l1d_lat = config.l1d.hit_latency
+        self._l1i_lat = config.l1i.hit_latency
+        self._l2_lat = config.l2.hit_latency
 
     # ------------------------------------------------------------------
     # eviction handling
@@ -178,8 +182,9 @@ class MemoryHierarchy:
 
     def _data_access(self, addr: int, cycle: int, path: AccessPath,
                      is_write: bool) -> AccessResult:
-        self._now_hint = max(self._now_hint, cycle)
-        l1_lat = self.config.l1d.hit_latency
+        if cycle > self._now_hint:
+            self._now_hint = cycle
+        l1_lat = self._l1d_lat
         line = self.l1d.lookup(addr)
         if line is not None:
             if is_write:
@@ -212,8 +217,9 @@ class MemoryHierarchy:
 
         Returns the completion cycle.  L1I misses go to the unified L2.
         """
-        self._now_hint = max(self._now_hint, cycle)
-        l1_lat = self.config.l1i.hit_latency
+        if cycle > self._now_hint:
+            self._now_hint = cycle
+        l1_lat = self._l1i_lat
         line = self.l1i.lookup(pc)
         if line is not None:
             if line.ready_at <= cycle:
@@ -239,7 +245,7 @@ class MemoryHierarchy:
     def _l2_access(self, addr: int, cycle: int,
                    path: AccessPath) -> tuple[int, bool, int]:
         """Access the L2 at ``cycle``; returns (done, l2_hit, line_addr)."""
-        l2_lat = self.config.l2.hit_latency
+        l2_lat = self._l2_lat
         line_addr = self.l2.line_addr(addr)
         line = self.l2.lookup(addr)
         if line is not None:

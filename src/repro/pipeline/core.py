@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import TYPE_CHECKING
 
 from repro.config import ModelKind, ProcessorConfig
@@ -47,6 +48,12 @@ DECODE_LATENCY = 3
 #: fetch/decode buffer capacity in micro-ops.
 FETCH_BUFFER = 24
 
+#: Version tag of the simulator's *timing behaviour*.  The on-disk result
+#: cache (:mod:`repro.experiments.cache`) keys on it, so bump it whenever
+#: a change can alter any simulated cycle count; host-speed optimisations
+#: that leave timing identical must NOT bump it.
+SIM_VERSION = "1"
+
 # function-unit pools
 _FU_POOL = {
     OpClass.NOP: "int_alu",
@@ -60,6 +67,12 @@ _FU_POOL = {
     OpClass.LOAD: "mem_ports",
     OpClass.STORE: "mem_ports",
 }
+
+#: pool order for the per-cycle usage vector (indices into _FU_INDEX)
+_FU_POOLS = ("int_alu", "int_mul_div", "mem_ports", "fp_alu", "fp_mul_div")
+#: OpClass (an IntEnum) -> pool index, for dict-free hot-path lookups
+_FU_INDEX = tuple(_FU_POOLS.index(_FU_POOL[OpClass(i)])
+                  for i in range(len(OpClass)))
 
 # event kinds
 _EV_COMPLETE = 0
@@ -174,8 +187,6 @@ class Processor:
         #: older stores to the *same* address, never against unrelated
         #: stores with unresolved addresses).
         self._pending_stores: dict[int, InFlightOp] = {}
-        self._fu_cycle = -1
-        self._fu_used: dict[str, int] = {}
         self._fu_limits = {
             "int_alu": config.fu.int_alu,
             "int_mul_div": config.fu.int_mul_div,
@@ -183,6 +194,17 @@ class Processor:
             "fp_alu": config.fu.fp_alu,
             "fp_mul_div": config.fu.fp_mul_div,
         }
+        # hot-path vectors/scalars (indexed by _FU_INDEX / hoisted out of
+        # the per-cycle stages; FU usage is reset each issue cycle)
+        self._fu_limit_vec = [self._fu_limits[p] for p in _FU_POOLS]
+        self._fu_used_vec = [0] * len(_FU_POOLS)
+        self._width = config.width
+        self._l1i_line_bytes = config.l1i.line_bytes
+        self._l1i_hit_latency = config.l1i.hit_latency
+        #: a StaticPolicy never resizes or stops allocation, so its
+        #: per-cycle tick (and decision allocation) can be skipped whole
+        self._policy_inert = type(self.policy) is StaticPolicy
+        self._refresh_capacity_cache()
 
         # resizing state
         self._alloc_stall_until = 0
@@ -212,6 +234,14 @@ class Processor:
             self.extra_wakeup_delay = cfg.extra_wakeup_delay
             self.extra_branch_penalty = cfg.extra_branch_penalty
 
+    def _refresh_capacity_cache(self) -> None:
+        """Capacities only change at level transitions; cache them so the
+        per-cycle accounting avoids six attribute chains."""
+        window = self.window
+        self._cap_vec = (window.iq.capacity, window.rob.capacity,
+                         window.lsq.capacity, window.iq.max_capacity,
+                         window.rob.max_capacity, window.lsq.max_capacity)
+
     def _apply_level(self, new_level: int) -> None:
         if new_level > self.level:
             self.stats.enlarge_transitions += 1
@@ -221,6 +251,7 @@ class Processor:
         self.level = new_level
         self.window.resize_to(new_level)
         self._update_level_params()
+        self._refresh_capacity_cache()
         self._alloc_stall_until = max(
             self._alloc_stall_until,
             self.cycle + self.config.transition_penalty)
@@ -234,13 +265,13 @@ class Processor:
 
     def _schedule(self, cycle: int, kind: int, payload: object) -> None:
         self._event_seq += 1
-        heapq.heappush(self._events, (cycle, self._event_seq, kind, payload))
+        _heappush(self._events, (cycle, self._event_seq, kind, payload))
 
     def _process_events(self) -> int:
         processed = 0
         events = self._events
         while events and events[0][0] <= self.cycle:
-            __, ___, kind, payload = heapq.heappop(events)
+            __, ___, kind, payload = _heappop(events)
             processed += 1
             if kind == _EV_COMPLETE:
                 self._complete_op(payload)
@@ -279,15 +310,17 @@ class Processor:
             return
         op.consumers = None
         now = self.cycle
+        ready = self._ready
+        inv = op.inv
         for consumer in consumers:
             if consumer.squashed or consumer.issued:
                 continue
-            if op.inv:
+            if inv:
                 consumer.inherit_inv = True
             consumer.pending_srcs -= 1
             if consumer.pending_srcs == 0:
                 consumer.ready_cycle = now
-                heapq.heappush(self._ready, (consumer.seq, consumer))
+                _heappush(ready, (consumer.seq, consumer))
 
     # ------------------------------------------------------------------
     # branch resolution
@@ -341,7 +374,10 @@ class Processor:
     def _commit_stage(self) -> int:
         committed = 0
         rob = self.rob
-        width = self.config.width
+        width = self._width
+        window = self.window
+        rob_release = window.rob.release
+        lsq_release = window.lsq.release
         engine = self.runahead
         in_runahead = engine is not None and engine.active
         while rob and committed < width:
@@ -351,9 +387,9 @@ class Processor:
                     break
                 rob.popleft()
                 engine.pseudo_retire(op, self.cycle)
-                self.window.rob.release()
+                rob_release()
                 if op.uop.is_mem:
-                    self.window.lsq.release()
+                    lsq_release()
                 committed += 1
                 continue
             if not op.complete:
@@ -364,9 +400,9 @@ class Processor:
                         continue
                 break
             rob.popleft()
-            self.window.rob.release()
+            rob_release()
             if op.uop.is_mem:
-                self.window.lsq.release()
+                lsq_release()
             self._commit_op(op)
             committed += 1
         if committed < width:
@@ -424,39 +460,37 @@ class Processor:
     # ------------------------------------------------------------------
     # issue
 
-    def _fu_available(self, pool: str) -> bool:
-        if self._fu_cycle != self.cycle:
-            self._fu_cycle = self.cycle
-            self._fu_used = {}
-        return self._fu_used.get(pool, 0) < self._fu_limits[pool]
-
-    def _fu_take(self, pool: str) -> None:
-        self._fu_used[pool] = self._fu_used.get(pool, 0) + 1
-
     def _issue_stage(self) -> int:
-        issued = 0
-        budget = self.config.width
         ready = self._ready
+        if not ready:
+            return 0
+        issued = 0
+        budget = self._width
+        fu_used = self._fu_used_vec
+        fu_used[0] = fu_used[1] = fu_used[2] = fu_used[3] = fu_used[4] = 0
+        fu_limits = self._fu_limit_vec
         deferred: list[tuple[int, InFlightOp]] = []
+        defer = deferred.append
         scans = 0
         now = self.cycle
         while ready and issued < budget and scans < 32:
             scans += 1
-            seq, op = heapq.heappop(ready)
+            item = _heappop(ready)
+            op = item[1]
             if op.squashed or op.issued:
                 continue
             if op.ready_cycle > now:
-                deferred.append((seq, op))
+                defer(item)
                 continue
-            pool = _FU_POOL[op.uop.op]
-            if not self._fu_available(pool):
-                deferred.append((seq, op))
+            pool = _FU_INDEX[op.uop.op]
+            if fu_used[pool] >= fu_limits[pool]:
+                defer(item)
                 continue
-            self._fu_take(pool)
+            fu_used[pool] += 1
             self._issue_op(op)
             issued += 1
         for item in deferred:
-            heapq.heappush(ready, item)
+            _heappush(ready, item)
         return issued
 
     def _issue_op(self, op: InFlightOp) -> None:
@@ -581,7 +615,7 @@ class Processor:
                 self.stats.dispatch_stall_cycles += 1
             return 0
         dispatched = 0
-        width = self.config.width
+        width = self._width
         queue = self._decode_q
         window = self.window
         now = self.cycle
@@ -618,8 +652,9 @@ class Processor:
 
         now = self.cycle
         pending = 0
+        map_get = self._map.get
         for src in uop.srcs:
-            producer = self._map.get(src)
+            producer = map_get(src)
             if producer is None or producer.squashed:
                 continue
             if producer.woken_at >= 0 and producer.woken_at <= now:
@@ -634,7 +669,7 @@ class Processor:
         op.pending_srcs = pending
         op.ready_cycle = now + 1
         if pending == 0:
-            heapq.heappush(self._ready, (op.seq, op))
+            _heappush(self._ready, (op.seq, op))
         if uop.dst != REG_INVALID:
             self._map[uop.dst] = op
         self.rob.append(op)
@@ -650,26 +685,30 @@ class Processor:
             self.stats.fetch_stall_cycles += 1
             return 0
         fetched = 0
-        width = self.config.width
+        width = self._width
         queue = self._decode_q
         activity = self.stats.activity
+        trace_ops = self.trace.ops
+        n_trace_ops = len(trace_ops)
+        l1i_line = self._l1i_line_bytes
+        l1i_hit = self._l1i_hit_latency
         while fetched < width and len(queue) < FETCH_BUFFER:
             if self._wrong_mode:
                 uop = self.trace.wrong_path.op_at(self._wrong_base_pc,
                                                   self._wrong_k)
                 trace_idx = -1
             else:
-                if self._trace_idx >= len(self.trace.ops):
+                if self._trace_idx >= n_trace_ops:
                     break
-                uop = self.trace.ops[self._trace_idx]
+                uop = trace_ops[self._trace_idx]
                 trace_idx = self._trace_idx
             # I-cache access on a new line
-            line = uop.pc - (uop.pc % self.config.l1i.line_bytes)
+            line = uop.pc - (uop.pc % l1i_line)
             if line != self._last_fetch_line:
                 activity.l1i_accesses += 1
                 done = self.hierarchy.ifetch(uop.pc, now)
                 self._last_fetch_line = line
-                if done > now + self.config.l1i.hit_latency:
+                if done > now + l1i_hit:
                     self._fetch_stall_until = done
                     break
             self._seq += 1
@@ -739,15 +778,15 @@ class Processor:
             # fast-forwarded cycles: the machine state is frozen, so the
             # commit-block reason of the last simulated cycle persists
             reason = self._last_stall_reason or "frontend"
-            stats.note_stall_slots(reason, (delta - 1) * self.config.width)
+            stats.note_stall_slots(reason, (delta - 1) * self._width)
         activity = stats.activity
-        window = self.window
-        activity.iq_size_cycles += window.iq.capacity * delta
-        activity.rob_size_cycles += window.rob.capacity * delta
-        activity.lsq_size_cycles += window.lsq.capacity * delta
-        activity.iq_max_cycles += window.iq.max_capacity * delta
-        activity.rob_max_cycles += window.rob.max_capacity * delta
-        activity.lsq_max_cycles += window.lsq.max_capacity * delta
+        iq_c, rob_c, lsq_c, iq_m, rob_m, lsq_m = self._cap_vec
+        activity.iq_size_cycles += iq_c * delta
+        activity.rob_size_cycles += rob_c * delta
+        activity.lsq_size_cycles += lsq_c * delta
+        activity.iq_max_cycles += iq_m * delta
+        activity.rob_max_cycles += rob_m * delta
+        activity.lsq_max_cycles += lsq_m * delta
         if self.cycle < self._alloc_stall_until:
             stats.transition_stall_cycles += min(
                 delta, self._alloc_stall_until - self.cycle)
@@ -762,10 +801,14 @@ class Processor:
         with :meth:`advance`.
         """
         progress = 0
-        progress += self._process_events()
+        if self._events:
+            progress += self._process_events()
         progress += self._commit_stage()
-        progress += self._issue_stage()
-        if self._policy_stage():
+        if self._ready:
+            progress += self._issue_stage()
+        # a StaticPolicy never acts: skip its tick (and the per-cycle
+        # decision allocation) entirely — observable behaviour identical
+        if not self._policy_inert and self._policy_stage():
             progress += 1
         progress += self._dispatch_stage()
         progress += self._fetch_stage()
@@ -790,15 +833,17 @@ class Processor:
         the trace drains, or ``max_cycles`` is exceeded (error)."""
         if max_cycles is None:
             max_cycles = self.cycle + (until_committed + 1000) * 600
+        step = self.step_cycle
+        advance = self.advance
         while self.committed_total < until_committed:
             if self.cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
                     f"({self.committed_total} committed; likely deadlock)")
-            delta = self.step_cycle()
+            delta = step()
             if delta == 0:
                 break
-            self.advance(delta)
+            advance(delta)
 
     def _trace_done(self) -> bool:
         if self.runahead is not None and self.runahead.active:
@@ -860,13 +905,10 @@ class Processor:
             if span <= 0:
                 break
             budget -= span
-            for addr in range(base, base + span, line):
-                filled = h.l2.install(addr, ready_at=0, brought_by=-1)
-                filled.touched = True
+            h.l2.install_span(base, span, ready_at=0, brought_by=-1,
+                              touched=True)
             if l1_too and size <= self.config.l1d.size_bytes:
-                l1_line = h.l1d.line_bytes
-                for addr in range(base, base + size, l1_line):
-                    h.l1d.install(addr, ready_at=0, brought_by=-1)
+                h.l1d.install_span(base, size, ready_at=0, brought_by=-1)
         self._pretrain_predictor()
 
     def _pretrain_predictor(self) -> None:

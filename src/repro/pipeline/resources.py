@@ -110,14 +110,19 @@ class WindowSet:
         self.lsq.resize(cfg.lsq_entries)
 
     def has_room(self, need_rob: int, need_iq: int, need_lsq: int) -> bool:
+        # hot path: read occupancy/capacity directly rather than through
+        # the `free` property (a function call per resource per cycle)
         ok = True
-        if self.rob.free < need_rob:
-            self.rob.full_events += 1
+        rob = self.rob
+        if rob.capacity - rob.occupancy < need_rob:
+            rob.full_events += 1
             ok = False
-        if self.iq.free < need_iq:
-            self.iq.full_events += 1
+        iq = self.iq
+        if iq.capacity - iq.occupancy < need_iq:
+            iq.full_events += 1
             ok = False
-        if self.lsq.free < need_lsq:
-            self.lsq.full_events += 1
+        lsq = self.lsq
+        if lsq.capacity - lsq.occupancy < need_lsq:
+            lsq.full_events += 1
             ok = False
         return ok

@@ -1,0 +1,110 @@
+"""Determinism of the parallel campaign path.
+
+The acceptance bar for the execution layer: a campaign fanned out over
+worker processes must produce **bit-identical** results to the serial
+path — same cycle counts, same float series, same everything except
+wall-clock.  These tests run a small 2-program, 3-experiment campaign
+both ways and compare the machine-readable series exactly.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cache import JobRecorder, ResultStore, recording
+from repro.experiments.parallel import execute_campaign, plan_campaign
+from repro.experiments.runner import Settings, Sweep
+
+#: one memory-intensive + one compute-intensive program keeps every
+#: experiment's per-category geometric means well-defined
+SETTINGS = Settings(warmup=800, measure=1_500,
+                    only_programs=("leslie3d", "gcc"))
+EXP_IDS = ("fig07", "table3", "fig08")
+
+
+def _campaign_series(store: ResultStore) -> tuple[dict, Sweep]:
+    sweep = Sweep(SETTINGS, store=store)
+    series = {}
+    for exp_id in EXP_IDS:
+        module = importlib.import_module(EXPERIMENTS[exp_id])
+        series[exp_id] = module.run(sweep=sweep).series
+    return series, sweep
+
+
+@pytest.fixture(scope="module")
+def serial_series():
+    series, __ = _campaign_series(ResultStore(None))
+    return series
+
+
+class TestPlanning:
+    def test_planner_collects_deduplicated_jobs(self):
+        recorder = plan_campaign(EXP_IDS, SETTINGS)
+        assert len(recorder) > 0
+        # fig07 alone needs base+fix2+fix3+dyn+ideal2+ideal3 per program
+        assert len(recorder) >= 6 * len(SETTINGS.programs())
+        # every key appears once: keys are the dedup
+        assert len(set(recorder.jobs)) == len(recorder)
+
+    def test_planning_leaves_no_recorder_behind(self):
+        from repro.experiments.cache import active_recorder
+        plan_campaign(EXP_IDS[:1], SETTINGS)
+        assert active_recorder() is None
+
+    def test_recording_context_restores_previous(self):
+        from repro.experiments.cache import active_recorder
+        outer = JobRecorder()
+        with recording(outer):
+            with recording(JobRecorder()):
+                pass
+            assert active_recorder() is outer
+        assert active_recorder() is None
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_bitwise(self, serial_series, tmp_path):
+        """--jobs 4 campaign == serial campaign, bit for bit."""
+        store = ResultStore(str(tmp_path))
+        recorder = plan_campaign(EXP_IDS, SETTINGS)
+        report = execute_campaign(recorder, store, jobs=4)
+        assert report.executed == report.planned > 0
+
+        series, sweep = _campaign_series(store)
+        # every simulation the experiments asked for was pre-planned
+        assert sweep.sim_runs == 0
+        assert sweep.cache_hits > 0
+        # dict == compares floats exactly: bit-identical or bust
+        assert series == serial_series
+
+    def test_warm_cache_second_run_simulates_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        recorder = plan_campaign(EXP_IDS, SETTINGS)
+        first = execute_campaign(recorder, store, jobs=2)
+        assert first.executed > 0
+
+        again = execute_campaign(plan_campaign(EXP_IDS, SETTINGS),
+                                 ResultStore(str(tmp_path)), jobs=2)
+        assert again.executed == 0
+        assert again.already_cached == again.planned == first.planned
+
+    def test_inline_jobs1_matches_serial(self, serial_series, tmp_path):
+        store = ResultStore(str(tmp_path))
+        recorder = plan_campaign(EXP_IDS, SETTINGS)
+        report = execute_campaign(recorder, store, jobs=1)
+        assert report.workers == 1
+        series, __ = _campaign_series(store)
+        assert series == serial_series
+
+
+class TestExecutionReport:
+    def test_utilisation_bounds(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        recorder = plan_campaign(EXP_IDS[:1], SETTINGS)
+        report = execute_campaign(recorder, store, jobs=2)
+        assert 0.0 < report.utilisation() <= 1.0
+        assert report.wall_seconds > 0
+        assert report.busy_seconds > 0
+        assert sum(report.per_program.values()) == report.executed

@@ -1,0 +1,190 @@
+"""Correctness of the content-addressed result store and its keys.
+
+A cache is only as trustworthy as its key: these tests pin down that
+every input that can change a simulation's outcome — any config field,
+the trace seed, the sample sizes, the simulator version tag — produces
+a distinct key, and that a disk round-trip returns results equal to the
+originals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+import pytest
+
+from repro.config import base_config, dynamic_config, config_fingerprint
+from repro.core.policies import OccupancyPolicy, StaticPolicy
+from repro.experiments import cache as result_cache
+from repro.experiments.cache import ResultStore, policy_fingerprint, result_key
+from repro.experiments.runner import Settings, Sweep
+from repro.pipeline import simulate
+from repro.workloads import generate_trace, profile
+
+
+def _small_result(program="gcc", seed=1, measure=1_500):
+    trace = generate_trace(profile(program), n_ops=measure + 1_500, seed=seed)
+    return simulate(base_config(), trace, warmup=1_000, measure=measure)
+
+
+def _key(**overrides):
+    base = dict(seed=1, warmup=1_000, measure=2_000, trace_ops=4_000,
+                policy=None, key_extra=None)
+    base.update(overrides)
+    config = base.pop("config", base_config())
+    program = base.pop("program", "gcc")
+    return result_key(program, config, **base)
+
+
+class TestResultKey:
+    def test_stable_across_calls(self):
+        assert _key() == _key()
+
+    def test_program_and_seed_and_samples_matter(self):
+        reference = _key()
+        assert _key(program="leslie3d") != reference
+        assert _key(seed=2) != reference
+        assert _key(warmup=1_001) != reference
+        assert _key(measure=2_001) != reference
+        assert _key(trace_ops=4_001) != reference
+
+    def test_any_config_field_invalidates(self):
+        """Every top-level config field change must produce a new key —
+        the historical foot-gun was a hand-enumerated key that silently
+        aliased configs differing in a non-enumerated field."""
+        config = base_config()
+        reference = _key(config=config)
+        changed = [
+            dataclasses.replace(config, transition_penalty=9),
+            dataclasses.replace(
+                config, l2=dataclasses.replace(config.l2, size_bytes=config.l2.size_bytes * 2)),
+            dataclasses.replace(
+                config, l1d=dataclasses.replace(config.l1d, hit_latency=config.l1d.hit_latency + 1)),
+            dataclasses.replace(
+                config, memory=dataclasses.replace(config.memory, model_writebacks=not config.memory.model_writebacks)),
+            dataclasses.replace(
+                config, prefetcher=dataclasses.replace(config.prefetcher, degree=config.prefetcher.degree + 1)),
+            dynamic_config(3),
+        ]
+        keys = {_key(config=c) for c in changed}
+        assert reference not in keys
+        assert len(keys) == len(changed)
+
+    def test_version_tag_invalidates(self, monkeypatch):
+        import repro.pipeline.core as core
+        reference = _key()
+        monkeypatch.setattr(core, "SIM_VERSION", core.SIM_VERSION + "-next")
+        assert _key() != reference
+
+    def test_policy_fingerprint_distinguishes(self):
+        assert (policy_fingerprint(StaticPolicy(1))
+                != policy_fingerprint(StaticPolicy(2)))
+        assert (policy_fingerprint(OccupancyPolicy(3))
+                != policy_fingerprint(OccupancyPolicy(3, period=4096)))
+        assert (policy_fingerprint(OccupancyPolicy(3))
+                == policy_fingerprint(OccupancyPolicy(3)))
+        assert policy_fingerprint(None) == policy_fingerprint(None)
+
+    def test_key_extra_still_separates(self):
+        assert _key(key_extra=("variant", 1)) != _key(key_extra=("variant", 2))
+
+
+class TestResultStore:
+    def test_memory_roundtrip(self):
+        store = ResultStore(None)
+        result = _small_result()
+        store.put("k" * 64, result)
+        assert store.get("k" * 64) is result
+        assert store.hits == 1 and store.misses == 0
+
+    def test_disk_roundtrip_equal_results(self, tmp_path):
+        result = _small_result()
+        writer = ResultStore(str(tmp_path))
+        key = _key()
+        writer.put(key, result)
+
+        reader = ResultStore(str(tmp_path))   # fresh process stand-in
+        loaded = reader.get(key)
+        assert loaded is not None
+        assert reader.disk_hits == 1
+        for fld in dataclasses.fields(type(result)):
+            if fld.name == "stats":
+                continue
+            assert getattr(loaded, fld.name) == getattr(result, fld.name), fld.name
+        assert loaded.stats.committed_uops == result.stats.committed_uops
+        assert loaded.stats.miss_intervals() == result.stats.miss_intervals()
+        assert loaded.stats.activity.as_dict() == result.stats.activity.as_dict()
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.get("0" * 64) is None
+        assert store.misses == 1
+
+    @pytest.mark.parametrize("garbage", [
+        b"truncated garbage",   # invalid leading opcode -> UnpicklingError
+        b"garbage\n",           # valid opcode, bad operand -> ValueError
+        b"",                    # empty file -> EOFError
+    ])
+    def test_corrupt_file_is_a_miss(self, tmp_path, garbage):
+        store = ResultStore(str(tmp_path))
+        key = _key()
+        store.put(key, _small_result())
+        path = store._path(key)
+        with open(path, "wb") as fh:
+            fh.write(garbage)
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.get(key) is None
+
+    def test_clear_disk(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put(_key(), _small_result())
+        store.put(_key(seed=2), _small_result())
+        assert store.disk_entries() == 2
+        assert store.clear_disk() == 2
+        assert store.disk_entries() == 0
+
+
+class TestSweepStoreIntegration:
+    SETTINGS = Settings(all_programs=False, warmup=1_000, measure=1_500)
+
+    def test_disk_hit_skips_simulation(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = Sweep(self.SETTINGS, store=store)
+        result = first.run("gcc", base_config())
+        assert first.sim_runs == 1
+
+        second = Sweep(self.SETTINGS, store=ResultStore(str(tmp_path)))
+        cached = second.run("gcc", base_config())
+        assert second.sim_runs == 0
+        assert second.cache_hits == 1
+        assert cached.cycles == result.cycles
+        assert cached.ipc == result.ipc
+        assert cached.energy_nj == result.energy_nj
+
+    def test_changed_settings_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        Sweep(self.SETTINGS, store=store).run("gcc", base_config())
+        other = Sweep(dataclasses.replace(self.SETTINGS, seed=7),
+                      store=ResultStore(str(tmp_path)))
+        other.run("gcc", base_config())
+        assert other.sim_runs == 1 and other.cache_hits == 0
+
+    def test_active_store_reaches_new_sweeps(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        result_cache.set_active_store(store)
+        try:
+            sweep = Sweep(self.SETTINGS)
+            assert sweep.store is store
+        finally:
+            result_cache.set_active_store(None)
+        assert Sweep(self.SETTINGS).store is None
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        assert config_fingerprint(base_config()) == config_fingerprint(base_config())
+
+    def test_distinct_configs_distinct_fingerprints(self):
+        assert (config_fingerprint(base_config())
+                != config_fingerprint(dynamic_config(3)))
