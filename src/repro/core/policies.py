@@ -105,6 +105,10 @@ class OccupancyPolicy(ResizingPolicy):
             return ResizeDecision()
         self._next_check = cycle + self.period
         avg_occ = self._occ_sum / max(1, self._samples)
+        # full_events is a pure recording counter (bumped once per
+        # stalled-dispatch cycle via note_alloc_stall, never by query
+        # methods), so this delta really is "cycles dispatch blocked on
+        # the IQ this period" no matter how often anyone observed it
         full_events = window.iq.full_events - self._last_full_events
         self._last_full_events = window.iq.full_events
         self._occ_sum = 0

@@ -1,0 +1,26 @@
+"""Error types of the debug layer.
+
+Kept import-free: :mod:`repro.pipeline.core` imports
+:class:`DeadlockError` at module load, so this module must not import
+anything that could close a cycle back into the pipeline.
+"""
+
+from __future__ import annotations
+
+
+class SanitizerError(AssertionError):
+    """A microarchitectural invariant was violated.
+
+    Subclasses :class:`AssertionError` because a violation means the
+    *model* is wrong, not the workload: it should fail a test run the
+    same way a bare assert would.
+    """
+
+
+class DeadlockError(RuntimeError):
+    """The simulated core can provably make no further progress.
+
+    Carries a multi-line diagnostic report (resource occupancies,
+    pending events, policy timers, and — when the sanitizer is attached
+    — the tail of the cycle-event trace).
+    """

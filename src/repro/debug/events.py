@@ -1,0 +1,80 @@
+"""Typed cycle-event records in a bounded ring buffer.
+
+Every record is self-describing (it carries its own cycle), so events
+appended slightly out of emission order — e.g. a ``fetch`` recorded at
+dispatch time with the earlier fetch cycle — still render and export
+coherently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import dataclass
+
+#: the event vocabulary (kept small and stable for tooling)
+EVENT_KINDS = ("fetch", "dispatch", "issue", "commit", "level", "stall")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event."""
+
+    cycle: int
+    kind: str     # one of EVENT_KINDS
+    seq: int      # micro-op sequence number, or -1 for machine events
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"cycle": self.cycle, "kind": self.kind,
+                "seq": self.seq, "detail": self.detail}
+
+
+class EventTrace:
+    """Ring buffer of the most recent :class:`TraceEvent` records.
+
+    ``emitted`` and ``kind_counts`` cover the whole run, not just the
+    retained window, so summary statistics survive ring overflow.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.records: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.kind_counts: Counter[str] = Counter()
+
+    def emit(self, cycle: int, kind: str, seq: int = -1,
+             detail: str = "") -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; "
+                             f"known: {', '.join(EVENT_KINDS)}")
+        self.records.append(TraceEvent(cycle, kind, seq, detail))
+        self.emitted += 1
+        self.kind_counts[kind] += 1
+
+    def counts(self) -> dict[str, int]:
+        """Events emitted per kind over the whole run."""
+        return dict(self.kind_counts)
+
+    def render(self, last: int | None = None) -> str:
+        """A text table of the most recent ``last`` retained events."""
+        records = list(self.records)
+        if last is not None:
+            records = records[-last:]
+        if not records:
+            return "(no events recorded)"
+        lines = [f"{'cycle':>9} {'kind':<9} {'seq':>7}  detail"]
+        for r in records:
+            seq = str(r.seq) if r.seq >= 0 else "-"
+            lines.append(f"{r.cycle:>9} {r.kind:<9} {seq:>7}  {r.detail}")
+        return "\n".join(lines)
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the retained events as JSON lines; returns the count."""
+        records = list(self.records)
+        with open(path, "w", encoding="utf-8") as fh:
+            for r in records:
+                fh.write(json.dumps(r.as_dict()) + "\n")
+        return len(records)

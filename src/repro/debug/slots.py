@@ -1,0 +1,166 @@
+"""Exact physical-slot occupancy trackers.
+
+``pipeline/resources.py`` models shrink vacancy with the approximation
+``occupancy <= new_capacity``: with in-order allocation the occupied
+region is contiguous, so *some* window of ``occupancy`` slots fits, but
+the region may physically straddle the boundary of the shrunken range
+(the occupied window wraps around the ring).  These trackers mirror the
+real slot indices so the sanitizer can measure, at every shrink, how
+often the approximation declared a region vacant while slots above the
+new capacity were still occupied — the ``divergences`` /
+``max_straddle`` counters quantify exactly the optimism the resources
+docstring concedes.
+
+Trackers are *observers*: they are synced from the authoritative ROB
+contents each cycle and never influence simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+from repro.debug.errors import SanitizerError
+
+
+class FifoSlotTracker:
+    """Slot mirror of a circular FIFO resource (ROB, LSQ).
+
+    Allocation advances a tail pointer modulo the current capacity;
+    entries leave either from the head (commit) or from the tail
+    (squash of the youngest entries), matching the processor's use of
+    the real structures.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        #: (seq, slot) pairs, oldest first — parallels the live FIFO
+        self.ring: deque[tuple[int, int]] = deque()
+        self.next_slot = 0
+        self.divergences = 0
+        self.max_straddle = 0
+
+    def occupied_above(self, limit: int) -> int:
+        """Occupied physical slots at index ``limit`` or higher."""
+        return sum(1 for __, slot in self.ring if slot >= limit)
+
+    def sync(self, seqs: list[int], commits_hint: int | None = None) -> list[int]:
+        """Update the mirror to the FIFO's current ``seqs`` (in order).
+
+        Survivors must be a contiguous run of the previous contents
+        (FIFO entries only leave from the ends); entries that left from
+        the head are returned as the committed sequence numbers, while
+        entries that left from the tail retract the tail pointer.  When
+        *everything* left in one cycle the split between the two is
+        ambiguous from contents alone — ``commits_hint`` (the commit
+        count since the last sync) resolves it.
+        """
+        ring = self.ring
+        committed: list[int] = []
+        if ring:
+            max_old = ring[-1][0]
+            k = 0
+            for s in seqs:
+                if s > max_old:
+                    break
+                k += 1
+            if k:
+                first = seqs[0]
+                while ring and ring[0][0] != first:
+                    committed.append(ring.popleft()[0])
+                while len(ring) > k:
+                    self.next_slot = ring.pop()[1]
+                if [s for s, __ in ring] != seqs[:k]:
+                    raise SanitizerError(
+                        f"{self.name} slot mirror diverged from the live "
+                        f"structure (survivors are not a contiguous run)")
+            else:
+                n_commit = (len(ring) if commits_hint is None
+                            else min(commits_hint, len(ring)))
+                for __ in range(n_commit):
+                    committed.append(ring.popleft()[0])
+                while ring:
+                    self.next_slot = ring.pop()[1]
+        cap = self.capacity
+        for s in seqs[len(ring):]:
+            ring.append((s, self.next_slot))
+            self.next_slot = (self.next_slot + 1) % cap
+        return committed
+
+    def resize(self, new_capacity: int) -> int:
+        """Apply a capacity change; returns the straddle count.
+
+        On a shrink, any occupied slot at ``new_capacity`` or above is
+        a divergence of the occupancy-based vacancy approximation.  The
+        mirror then re-packs compactly (what a real implementation that
+        stalls until the region physically drains would end up with),
+        so tracking stays sound afterwards.
+        """
+        straddling = 0
+        if new_capacity < self.capacity:
+            straddling = self.occupied_above(new_capacity)
+            if straddling:
+                self.divergences += 1
+                self.max_straddle = max(self.max_straddle, straddling)
+            if straddling or self.next_slot >= new_capacity:
+                self.ring = deque((seq, i)
+                                  for i, (seq, __) in enumerate(self.ring))
+                self.next_slot = len(self.ring) % new_capacity
+        self.capacity = new_capacity
+        return straddling
+
+
+class CamSlotTracker:
+    """Slot mirror of a CAM-style resource with out-of-order release
+    (the IQ): allocation takes the lowest free slot, release frees the
+    entry's own slot, leaving holes."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.slot_of: dict[int, int] = {}
+        self._free: list[int] = list(range(capacity))
+        heapify(self._free)
+        self.divergences = 0
+        self.max_straddle = 0
+
+    def occupied_above(self, limit: int) -> int:
+        return sum(1 for slot in self.slot_of.values() if slot >= limit)
+
+    def sync(self, seqs: list[int]) -> None:
+        """Update the mirror to the current set of resident entries."""
+        current = set(seqs)
+        gone = [s for s in self.slot_of if s not in current]
+        for s in gone:
+            heappush(self._free, self.slot_of.pop(s))
+        for s in seqs:
+            if s not in self.slot_of:
+                if not self._free:
+                    raise SanitizerError(
+                        f"{self.name} slot mirror overflow: no free slot "
+                        f"for seq {s} (capacity {self.capacity})")
+                self.slot_of[s] = heappop(self._free)
+
+    def resize(self, new_capacity: int) -> int:
+        """Apply a capacity change; returns the straddle count.
+
+        Shrinks re-pack the survivors compactly (see
+        :meth:`FifoSlotTracker.resize`); enlarges simply extend the
+        free list, preserving existing holes.
+        """
+        straddling = 0
+        if new_capacity >= self.capacity:
+            for s in range(self.capacity, new_capacity):
+                heappush(self._free, s)
+        else:
+            straddling = self.occupied_above(new_capacity)
+            if straddling:
+                self.divergences += 1
+                self.max_straddle = max(self.max_straddle, straddling)
+            survivors = sorted(self.slot_of.items(), key=lambda kv: kv[1])
+            self.slot_of = {seq: i for i, (seq, __) in enumerate(survivors)}
+            self._free = list(range(len(survivors), new_capacity))
+            heapify(self._free)
+        self.capacity = new_capacity
+        return straddling

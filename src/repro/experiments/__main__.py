@@ -54,10 +54,15 @@ def main(argv=None) -> int:
                              "read from or written to disk")
     parser.add_argument("--clear-cache", action="store_true",
                         help="wipe the on-disk result store first")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the repro.debug invariant sanitizer "
+                             "to every simulation (slower; cached results "
+                             "are bypassed so the checks actually run)")
     args = parser.parse_args(argv)
 
     settings = Settings(all_programs=not args.selected, warmup=args.warmup,
-                        measure=args.measure, seed=args.seed)
+                        measure=args.measure, seed=args.seed,
+                        sanitize=args.sanitize)
     wanted = [e for e in args.only.split(",") if e] or list(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:

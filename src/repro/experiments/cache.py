@@ -142,6 +142,13 @@ class ResultStore:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+        #: keys whose stored result was produced *by this process* with
+        #: the invariant sanitizer attached.  A sanitizing campaign may
+        #: reuse exactly these (the checks already ran); any other entry
+        #: is read-bypassed so sanitization cannot be skipped by a warm
+        #: cache.  Deliberately not persisted: provenance is only
+        #: trustworthy within the process that verified it.
+        self.sanitized_keys: set[str] = set()
 
     @property
     def hits(self) -> int:
@@ -244,6 +251,9 @@ class JobSpec:
     warmup: int
     measure: int
     trace_ops: int
+    #: run this job with the invariant sanitizer attached.  Not part of
+    #: the result key: a sanitized run is bit-identical, it just checks.
+    sanitize: bool = False
 
 
 class JobRecorder:

@@ -71,7 +71,8 @@ def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
                                seed=spec.seed)
         _TRACE_MEMO[memo_key] = trace
     result = simulate(spec.config, trace, warmup=spec.warmup,
-                      measure=spec.measure, policy=spec.policy)
+                      measure=spec.measure, policy=spec.policy,
+                      sanitize=spec.sanitize)
     EnergyModel().annotate(result, spec.config)
     return spec.key, result, time.perf_counter() - started
 
@@ -118,8 +119,10 @@ def execute_campaign(recorder: JobRecorder, store: ResultStore,
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
+    # sanitizing jobs always execute — a cache hit would silently skip
+    # the very invariant checks the campaign was asked to run
     todo = [spec for spec in recorder.jobs.values()
-            if not store.contains(spec.key)]
+            if spec.sanitize or not store.contains(spec.key)]
     report = ExecutionReport(planned=len(recorder.jobs),
                              already_cached=len(recorder.jobs) - len(todo),
                              executed=len(todo),
@@ -134,11 +137,16 @@ def execute_campaign(recorder: JobRecorder, store: ResultStore,
         for spec in todo:
             key, result, busy = _run_job(spec)
             store.put(key, result)
+            if spec.sanitize:
+                store.sanitized_keys.add(key)
             report.busy_seconds += busy
     else:
         with ProcessPoolExecutor(max_workers=report.workers) as pool:
-            for key, result, busy in pool.map(_run_job, todo):
+            for spec, (key, result, busy) in zip(todo,
+                                                 pool.map(_run_job, todo)):
                 store.put(key, result)
+                if spec.sanitize:
+                    store.sanitized_keys.add(key)
                 report.busy_seconds += busy
     report.wall_seconds = time.perf_counter() - wall_start
     return report

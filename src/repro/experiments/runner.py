@@ -54,6 +54,10 @@ class Settings:
     #: explicit program list overriding the above scope (tests and
     #: quick spot-checks; empty = use ``all_programs``)
     only_programs: tuple[str, ...] = ()
+    #: run every simulation with the repro.debug invariant sanitizer
+    #: attached (slower; results bypass the on-disk cache so the checks
+    #: actually execute)
+    sanitize: bool = False
 
     @property
     def trace_ops(self) -> int:
@@ -169,12 +173,19 @@ class Sweep:
             recorder.record(result_cache.JobSpec(
                 key=skey, program=program, config=config, policy=policy,
                 seed=settings.seed, warmup=settings.warmup,
-                measure=settings.measure, trace_ops=settings.trace_ops))
+                measure=settings.measure, trace_ops=settings.trace_ops,
+                sanitize=settings.sanitize))
             result = result_cache.placeholder_result(program, config)
             self._results[key] = result
             return result
         store = self.store
-        if store is not None:
+        # A sanitizing campaign must actually *run* the checks, so
+        # stored entries are read-bypassed — except those this process
+        # itself produced under the sanitizer (the campaign fan-out),
+        # whose checks already ran.  Results are always written back:
+        # sanitized runs are bit-identical to unsanitized ones.
+        if store is not None and (not settings.sanitize
+                                  or skey in store.sanitized_keys):
             result = store.get(skey)
             if result is not None:
                 self.cache_hits += 1
@@ -183,11 +194,14 @@ class Sweep:
         result = simulate(config, self.trace(program),
                           warmup=settings.warmup,
                           measure=settings.measure,
-                          policy=policy)
+                          policy=policy,
+                          sanitize=settings.sanitize)
         self.energy.annotate(result, config)
         self.sim_runs += 1
         if store is not None:
             store.put(skey, result)
+            if settings.sanitize:
+                store.sanitized_keys.add(skey)
         self._results[key] = result
         return result
 
@@ -228,6 +242,11 @@ def cli_settings(argv=None, description: str = "") -> Settings:
     parser.add_argument("--warmup", type=int, default=4_000,
                         help="warmup micro-ops per run")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the repro.debug invariant sanitizer "
+                             "to every simulation (slower, bypasses the "
+                             "result cache)")
     args = parser.parse_args(argv)
     return Settings(all_programs=not args.selected, warmup=args.warmup,
-                    measure=args.measure, seed=args.seed)
+                    measure=args.measure, seed=args.seed,
+                    sanitize=args.sanitize)

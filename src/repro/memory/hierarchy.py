@@ -102,8 +102,9 @@ class MemoryHierarchy:
         self._writebacks_enabled = config.memory.model_writebacks
         self._now_hint = 0
         self.l2_writebacks = 0
-        self.l1d_mshr = MSHRFile(config.l1d.mshr_entries)
-        self.l2_mshr = shared_l2_mshr or MSHRFile(config.l2.mshr_entries)
+        self.l1d_mshr = MSHRFile(config.l1d.mshr_entries, name="L1D-MSHR")
+        self.l2_mshr = shared_l2_mshr or MSHRFile(config.l2.mshr_entries,
+                                                  name="L2-MSHR")
         if shared_memory is not None:
             self.memory = shared_memory
         elif config.memory.organisation == "banked":
@@ -207,7 +208,7 @@ class MemoryHierarchy:
         wait = self.l1d_mshr.allocate_delay(cycle)
         l2_start = cycle + wait + l1_lat
         l2_done, l2_hit, l2_line_addr = self._l2_access(addr, l2_start, path)
-        self.l1d_mshr.allocate(line_addr, l2_done)
+        self.l1d_mshr.allocate(line_addr, l2_done, cycle=cycle + wait)
         filled = self.l1d.install(addr, l2_done)
         filled.dirty = is_write
         return AccessResult(l2_done, False, l2_hit, not l2_hit)
@@ -264,7 +265,7 @@ class MemoryHierarchy:
         self._notify_l2_miss(cycle + l2_lat)
         wait = self.l2_mshr.allocate_delay(cycle)
         done = self.memory.schedule(cycle + wait + l2_lat, line_addr)
-        self.l2_mshr.allocate(line_addr, done)
+        self.l2_mshr.allocate(line_addr, done, cycle=cycle + wait)
         filled = self.l2.install(addr, done, brought_by=int(path))
         if path is AccessPath.CORRECT:
             filled.touched = True
@@ -275,11 +276,20 @@ class MemoryHierarchy:
     SPECULATIVE_QUEUE_LIMIT = 96
 
     def mshr_room(self, cycle: int) -> bool:
-        """Whether the L1D miss buffers can take a new fill right now."""
-        return self.l1d_mshr.allocate_delay(cycle) == 0
+        """Whether the L1D miss buffers can take a new fill right now.
+
+        A pure observation (``full_stalls`` does not move): runahead
+        polls this to gate speculative fills, and a query must not skew
+        the demand-side stall statistics."""
+        return self.l1d_mshr.has_room(cycle)
 
     def _issue_prefetches(self, candidates: list[int], cycle: int) -> None:
-        """Bring prefetch candidate lines into the L2."""
+        """Bring prefetch candidate lines into the L2.
+
+        Prefetches are best-effort: like fills beyond the speculative
+        queue limit, they are dropped — never queued — when the L2 miss
+        buffers are full, so they cannot overflow the MSHR file the way
+        the unguarded allocation historically could."""
         if self.memory.queue_delay(cycle) > self.SPECULATIVE_QUEUE_LIMIT:
             return
         for line_addr in candidates:
@@ -287,9 +297,13 @@ class MemoryHierarchy:
                 continue
             if self.l2_mshr.lookup(line_addr) is not None:
                 continue
+            if not self.l2_mshr.can_reserve(cycle):
+                # no free entry (counting queued demand claims): drop the
+                # prefetch rather than overflow or steal a promised slot
+                break
             done = self.memory.schedule(cycle + self.config.l2.hit_latency,
                                         line_addr)
-            self.l2_mshr.allocate(line_addr, done)
+            self.l2_mshr.allocate(line_addr, done, cycle=cycle)
             self.l2.install(line_addr, done, brought_by=int(AccessPath.PREFETCH))
             self.prefetch_fills += 1
 

@@ -3,9 +3,30 @@
 An MSHR file tracks the cache lines a non-blocking cache currently has in
 flight.  A second miss to an in-flight line *merges*: it completes when the
 original fill arrives and consumes no new entry.  When all entries are
-busy, a new miss must wait for the earliest release — the wait is folded
-into the returned completion time, which keeps the model deterministic
-without a retry loop.
+busy, a new miss must wait for a release — the wait is folded into the
+returned completion time, which keeps the model deterministic without a
+retry loop.
+
+The ``entries`` bound is a hard invariant: at no simulated instant may
+more than ``entries`` fills *hold an entry*.  Each record therefore
+carries, besides its completion cycle, its claim cycle (when it takes
+the entry — allocation start plus any queuing wait); a record queued
+behind a full file reserves future capacity without holding an entry
+yet.  Two historical leaks are closed here and guarded by
+:meth:`allocate`:
+
+* a caller that skipped :meth:`allocate_delay` (the prefetch path did)
+  could install a fill into a full file — callers must now check
+  :meth:`has_room` or pass their claim cycle so the bound is enforced;
+* several allocations racing one reap could each be told to wait for the
+  *same* earliest release — :meth:`allocate_delay` now queues each
+  claim behind every not-yet-released reservation before it (the k-th
+  over-capacity claim waits for the k-th earliest release).
+
+Observation and recording are split (the same discipline as the window
+resources): :meth:`has_room`, :meth:`in_flight` and :meth:`reserved`
+are queries; only :meth:`allocate_delay` — an actual claim — records
+``full_stalls``.
 """
 
 from __future__ import annotations
@@ -14,12 +35,18 @@ from __future__ import annotations
 class MSHRFile:
     """Bookkeeping for in-flight misses of one cache."""
 
-    def __init__(self, entries: int) -> None:
+    def __init__(self, entries: int, name: str = "MSHR") -> None:
         if entries < 1:
             raise ValueError("MSHR file needs at least one entry")
         self.entries = entries
-        #: line address -> cycle at which the fill completes
+        self.name = name
+        #: line address -> completion cycle (the hot-path table)
         self._pending: dict[int, int] = {}
+        #: line address -> claim cycle, for records whose caller passed
+        #: timing.  Absent means "held since allocation" (claim -1).
+        #: Kept aside so the hot lookup/merge/reap paths stay a plain
+        #: int-valued dict.
+        self._claims: dict[int, int] = {}
         self.merges = 0
         self.allocations = 0
         self.full_stalls = 0
@@ -34,36 +61,120 @@ class MSHRFile:
         return self._pending[line_addr]
 
     def occupancy(self, cycle: int) -> int:
-        """Number of entries still in flight at ``cycle`` (reaps expired)."""
+        """Number of not-yet-released records at ``cycle`` (reaps expired)."""
         self._reap(cycle)
         return len(self._pending)
 
+    def in_flight(self, cycle: int) -> int:
+        """Fills actually *holding* an entry at ``cycle`` — claimed and
+        not yet completed.  A pure, non-reaping observation: this is the
+        quantity the ``entries`` bound constrains, and the sanitizer can
+        evaluate it every cycle without perturbing reap-sensitive
+        callers."""
+        claims = self._claims
+        if not claims:
+            return sum(1 for comp in self._pending.values() if comp > cycle)
+        return sum(1 for addr, comp in self._pending.items()
+                   if comp > cycle and claims.get(addr, -1) <= cycle)
+
+    def reserved(self, cycle: int) -> int:
+        """Records still outstanding at ``cycle`` — entry holders *plus*
+        queued claims waiting for a release.  Pure and non-reaping; this
+        is the admission count speculative requesters must respect (a
+        queued demand miss owns the next free entry even before its
+        claim cycle)."""
+        return sum(1 for comp in self._pending.values() if comp > cycle)
+
+    def can_reserve(self, cycle: int) -> bool:
+        """Query: is a reservation open at ``cycle``, counting queued
+        claims?  The count-based fast path skips the scan whenever the
+        file cannot possibly be full."""
+        if len(self._pending) < self.entries:
+            return True
+        return self.reserved(cycle) < self.entries
+
+    def has_room(self, cycle: int) -> bool:
+        """Query: can a new fill claim an entry at ``cycle`` without
+        waiting?  Counts queued reservations, so speculative requesters
+        (prefetch, runahead) cannot steal an entry a queued demand miss
+        was promised.  No counters move (see the module docstring)."""
+        self._reap(cycle)
+        return len(self._pending) < self.entries
+
     def earliest_release(self) -> int:
-        """Cycle at which the next entry frees (file must be non-empty)."""
+        """Cycle at which the next record releases (file must be non-empty)."""
         return min(self._pending.values())
 
     def allocate_delay(self, cycle: int) -> int:
-        """Extra cycles an allocation at ``cycle`` must wait for a free entry."""
+        """Extra cycles an allocation at ``cycle`` must wait for a free entry.
+
+        Queued records still reserve capacity, so when ``k`` reservations
+        beyond the file size are outstanding the new claim waits for the
+        ``k``-th earliest release — successive misses racing one reap can
+        no longer all be promised the same freed entry.
+        """
         self._reap(cycle)
-        if len(self._pending) < self.entries:
+        excess = len(self._pending) - self.entries + 1
+        if excess <= 0:
             return 0
         self.full_stalls += 1
-        return max(0, self.earliest_release() - cycle)
+        releases = sorted(self._pending.values())
+        return max(0, releases[excess - 1] - cycle)
 
-    def allocate(self, line_addr: int, completion: int) -> None:
-        """Install an in-flight fill completing at ``completion``."""
+    def allocate(self, line_addr: int, completion: int,
+                 cycle: int | None = None) -> None:
+        """Install an in-flight fill completing at ``completion``.
+
+        ``cycle`` is the claim time (allocation start plus any
+        :meth:`allocate_delay` wait); when given, the bound is checked
+        against the fills actually holding entries at that instant —
+        without reaping, so enforcement has no observable side effect.
+        Installing into a full file raises: the capacity invariant is
+        enforced here, not merely assumed of callers.  The check scans —
+        and the claim cycle is recorded — only when the record count
+        says the file is at capacity: below it, any wait returned by
+        :meth:`allocate_delay` was zero, so the claim equals the
+        allocation instant and is indistinguishable from "held since
+        allocation" to every later query.
+        """
+        if cycle is not None:
+            if len(self._pending) >= self.entries:
+                existing = self._pending.get(line_addr)
+                live = existing is not None and existing > cycle
+                if not live and self.in_flight(cycle) >= self.entries:
+                    raise RuntimeError(
+                        f"{self.name}: overflow — {self.entries} fills "
+                        f"already hold entries at cycle {cycle} (caller "
+                        f"must wait via allocate_delay() or drop via "
+                        f"has_room())")
+                self._claims[line_addr] = cycle
+            elif self._claims:
+                self._claims.pop(line_addr, None)
+        else:
+            if (line_addr not in self._pending
+                    and len(self._pending) >= self.entries):
+                raise RuntimeError(
+                    f"{self.name}: overflow — {len(self._pending)} fills "
+                    f"outstanding, {self.entries} entries (caller must "
+                    f"wait via allocate_delay() or drop via has_room())")
+            if self._claims:
+                self._claims.pop(line_addr, None)
         self.allocations += 1
         self._pending[line_addr] = completion
 
     def _reap(self, cycle: int) -> None:
         if not self._pending:
             return
-        expired = [a for a, c in self._pending.items() if c <= cycle]
+        expired = [a for a, comp in self._pending.items() if comp <= cycle]
         for addr in expired:
             del self._pending[addr]
+        if self._claims:
+            for addr in expired:
+                self._claims.pop(addr, None)
 
     def reset(self) -> None:
         self._pending.clear()
+        self._claims.clear()
         self.merges = 0
         self.allocations = 0
         self.full_stalls = 0

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 from repro.config import ModelKind, ProcessorConfig
 from repro.core.policies import ResizingPolicy, StaticPolicy
 from repro.core.resizing import MLPAwarePolicy
+from repro.debug.errors import DeadlockError
 from repro.isa import EXEC_LATENCY, MicroOp, OpClass, REG_INVALID
 from repro.memory import AccessPath, MemoryHierarchy
 from repro.frontend import BranchPredictor
@@ -52,7 +53,7 @@ FETCH_BUFFER = 24
 #: cache (:mod:`repro.experiments.cache`) keys on it, so bump it whenever
 #: a change can alter any simulated cycle count; host-speed optimisations
 #: that leave timing identical must NOT bump it.
-SIM_VERSION = "1"
+SIM_VERSION = "2"   # 2: MSHR capacity invariant enforced (queued claims)
 
 # function-unit pools
 _FU_POOL = {
@@ -132,9 +133,15 @@ class Processor:
 
     def __init__(self, config: ProcessorConfig, trace: "Trace",
                  policy: ResizingPolicy | None = None,
-                 hierarchy: MemoryHierarchy | None = None) -> None:
+                 hierarchy: MemoryHierarchy | None = None,
+                 sanitize: bool = False) -> None:
         """``hierarchy`` may be injected to share L2/DRAM components
-        between cores (see :mod:`repro.multicore`)."""
+        between cores (see :mod:`repro.multicore`).
+
+        ``sanitize`` attaches the :mod:`repro.debug` invariant sanitizer
+        and cycle-event trace.  The flag is resolved here, once: when it
+        is False nothing is installed and the per-cycle paths carry no
+        debug branches at all."""
         self.config = config
         self.trace = trace
         self.stats = SimStats()
@@ -210,6 +217,11 @@ class Processor:
         self._alloc_stall_until = 0
         self._stop_alloc = False
         self._last_stall_reason: str | None = None
+        #: True when the last fast-forward target was set by a policy
+        #: timer that fired strictly before any machine event — the
+        #: jumped-over commit slots belong to the resize controller,
+        #: not to whatever stalled commit before the jump.
+        self._ff_timer_jump = False
 
         #: optional PipelineTracer recording per-op lifecycles
         self.tracer = None
@@ -221,6 +233,13 @@ class Processor:
         if config.model is ModelKind.RUNAHEAD:
             from repro.runahead import RunaheadEngine
             self.runahead = RunaheadEngine(self)
+        #: optional debug harness (invariant sanitizer + event trace).
+        #: Resolved once, here: with ``sanitize=False`` this stays None
+        #: and no per-cycle code ever consults it.
+        self.debug = None
+        if sanitize:
+            from repro.debug import Sanitizer
+            self.debug = Sanitizer(self)
 
     # ------------------------------------------------------------------
     # level handling
@@ -624,7 +643,12 @@ class Processor:
             if ready_at > now:
                 break
             is_mem = op.uop.is_mem
-            if not window.has_room(1, 1, 1 if is_mem else 0):
+            need_lsq = 1 if is_mem else 0
+            if not window.has_room(1, 1, need_lsq):
+                # record exactly once per stalled cycle (the query above
+                # is side-effect free), keeping full_events == number of
+                # cycles the resource blocked allocation
+                window.note_alloc_stall(1, 1, need_lsq)
                 self.stats.dispatch_stall_cycles += 1
                 break
             queue.popleft()
@@ -776,8 +800,14 @@ class Processor:
         stats.note_level_cycles(self.level, delta)
         if delta > 1:
             # fast-forwarded cycles: the machine state is frozen, so the
-            # commit-block reason of the last simulated cycle persists
-            reason = self._last_stall_reason or "frontend"
+            # commit-block reason of the last simulated cycle persists —
+            # unless the jump target was a policy timer firing before
+            # any machine event, in which case the skipped slots belong
+            # to the resize controller's own schedule
+            if self._ff_timer_jump:
+                reason = "policy_timer"
+            else:
+                reason = self._last_stall_reason or "frontend"
             stats.note_stall_slots(reason, (delta - 1) * self._width)
         activity = stats.activity
         iq_c, rob_c, lsq_c, iq_m, rob_m, lsq_m = self._cap_vec
@@ -817,11 +847,45 @@ class Processor:
         if progress == 0 and not self._ready:
             jump = self._next_interesting_cycle()
             if jump is None:
-                raise RuntimeError(
-                    f"deadlock at cycle {self.cycle}: no events, "
-                    f"no timers, nothing in flight")
+                raise DeadlockError(self._deadlock_report(
+                    "no events, no timers, nothing in flight"))
             return max(1, jump - self.cycle) if self.fast_forward else 1
         return 1
+
+    def _deadlock_report(self, headline: str) -> str:
+        """Diagnostic dump raised with a :class:`DeadlockError`.
+
+        Built only on the error path, so the running simulator pays
+        nothing for it.  When the debug harness is attached the last
+        traced events are appended — the raw material for answering
+        "what was the machine doing when it wedged?".
+        """
+        window = self.window
+        lines = [
+            f"deadlock at cycle {self.cycle}: {headline}",
+            f"  committed={self.committed_total} trace_idx={self._trace_idx}"
+            f"/{len(self.trace.ops)} wrong_mode={self._wrong_mode}",
+            f"  level={self.level} stop_alloc={self._stop_alloc} "
+            f"alloc_stall_until={self._alloc_stall_until} "
+            f"fetch_stall_until={self._fetch_stall_until}",
+            f"  rob={window.rob!r} iq={window.iq!r} lsq={window.lsq!r}",
+            f"  rob_head={self.rob[0]!r}" if self.rob else "  rob empty",
+            f"  decode_q={len(self._decode_q)} entries"
+            + (f", head ready at {self._decode_q[0][0]}"
+               if self._decode_q else ""),
+            f"  events={len(self._events)} scheduled, "
+            f"ready={len(self._ready)} queued",
+            f"  policy={type(self.policy).__name__} "
+            f"next_timer={self.policy.next_timer()}",
+            f"  mshr: l1d {self.hierarchy.l1d_mshr.in_flight(self.cycle)}"
+            f"/{self.hierarchy.l1d_mshr.entries} in flight, "
+            f"l2 {self.hierarchy.l2_mshr.in_flight(self.cycle)}"
+            f"/{self.hierarchy.l2_mshr.entries}",
+        ]
+        if self.debug is not None:
+            lines.append("last traced events:")
+            lines.append(self.debug.events.render(last=32))
+        return "\n".join(lines)
 
     def advance(self, delta: int) -> None:
         """Account ``delta`` cycles and move the clock."""
@@ -837,9 +901,10 @@ class Processor:
         advance = self.advance
         while self.committed_total < until_committed:
             if self.cycle > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"({self.committed_total} committed; likely deadlock)")
+                raise DeadlockError(self._deadlock_report(
+                    f"exceeded {max_cycles} cycles with only "
+                    f"{self.committed_total}/{until_committed} committed "
+                    f"(likely livelock)"))
             delta = step()
             if delta == 0:
                 break
@@ -865,13 +930,20 @@ class Processor:
             head_ready = self._decode_q[0][0]
             if head_ready > now:
                 candidates.append(head_ready)
-        timer = self.policy.next_timer()
-        if timer is not None and timer > now:
-            candidates.append(timer)
         if self.policy.wants_tick_every_cycle:
             candidates.append(now + 1)
         future = [c for c in candidates if c > now]
-        return min(future) if future else None
+        machine_next = min(future) if future else None
+        timer = self.policy.next_timer()
+        if (timer is not None and timer > now
+                and (machine_next is None or timer < machine_next)):
+            # the policy timer alone wakes the core: tag the jump so the
+            # skipped commit slots are charged to the controller, not to
+            # the stall reason that happened to precede the jump
+            self._ff_timer_jump = True
+            return timer
+        self._ff_timer_jump = False
+        return machine_next
 
     # ------------------------------------------------------------------
     # measurement control and result extraction
@@ -980,7 +1052,7 @@ class Processor:
 def simulate(config: ProcessorConfig, trace: "Trace",
              warmup: int = 5_000, measure: int = 30_000,
              policy: ResizingPolicy | None = None,
-             prewarm: bool = True) -> SimulationResult:
+             prewarm: bool = True, sanitize: bool = False) -> SimulationResult:
     """Run one trace on one configuration and return the measured result.
 
     The caches are pre-installed with the trace's resident regions
@@ -988,15 +1060,22 @@ def simulate(config: ProcessorConfig, trace: "Trace",
     executed to warm the predictors and the rest of the memory system,
     statistics are reset, and ``measure`` micro-ops are measured.  The
     trace must contain at least ``warmup + measure`` ops.
+
+    ``sanitize=True`` attaches the :mod:`repro.debug` invariant
+    sanitizer for the whole run (including warmup) and verifies the
+    final accounting before returning.  Timing is unchanged; host speed
+    is not.
     """
     if len(trace.ops) < warmup + measure:
         raise ValueError(
             f"trace has {len(trace.ops)} ops; need {warmup + measure}")
-    proc = Processor(config, trace, policy=policy)
+    proc = Processor(config, trace, policy=policy, sanitize=sanitize)
     if prewarm:
         proc.prewarm()
     if warmup:
         proc.run(until_committed=warmup)
         proc.reset_measurement()
     proc.run(until_committed=warmup + measure)
+    if proc.debug is not None:
+        proc.debug.final_check()
     return proc.result()

@@ -33,6 +33,12 @@ class WindowResource:
         self.occupancy = 0
         self.peak_occupancy = 0
         self.alloc_count = 0
+        self.release_count = 0
+        #: stalled-allocation cycles charged to this resource.  Strictly
+        #: a *recording* counter: only :meth:`note_full` bumps it, never
+        #: the query methods, so observing fullness any number of times
+        #: per cycle cannot skew the stall-rate signal policies derive
+        #: from it (see OccupancyPolicy).
         self.full_events = 0
 
     @property
@@ -40,10 +46,13 @@ class WindowResource:
         return self.capacity - self.occupancy
 
     def is_full(self) -> bool:
-        if self.occupancy >= self.capacity:
-            self.full_events += 1
-            return True
-        return False
+        """Pure query: no counters move (see :meth:`note_full`)."""
+        return self.occupancy >= self.capacity
+
+    def note_full(self) -> None:
+        """Record one allocation-blocked cycle.  Call exactly once per
+        cycle in which allocation stalled on this resource."""
+        self.full_events += 1
 
     def allocate(self, n: int = 1) -> None:
         if self.occupancy + n > self.capacity:
@@ -59,6 +68,7 @@ class WindowResource:
         if self.occupancy - n < 0:
             raise RuntimeError(f"{self.name}: release underflow")
         self.occupancy -= n
+        self.release_count += n
 
     def can_shrink_to(self, new_capacity: int) -> bool:
         """True if the region beyond ``new_capacity`` is vacant."""
@@ -110,19 +120,35 @@ class WindowSet:
         self.lsq.resize(cfg.lsq_entries)
 
     def has_room(self, need_rob: int, need_iq: int, need_lsq: int) -> bool:
+        """Pure query: whether all three resources can take the request.
+
+        Deliberately mutates nothing — observation and recording are
+        split so any number of callers per cycle (dispatch, policies,
+        the sanitizer) see the same answer without corrupting the
+        ``full_events`` stall signal.  The dispatch stage calls
+        :meth:`note_alloc_stall` once per cycle it actually stalls.
+        """
         # hot path: read occupancy/capacity directly rather than through
         # the `free` property (a function call per resource per cycle)
-        ok = True
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        return (rob.capacity - rob.occupancy >= need_rob
+                and iq.capacity - iq.occupancy >= need_iq
+                and lsq.capacity - lsq.occupancy >= need_lsq)
+
+    def note_alloc_stall(self, need_rob: int, need_iq: int,
+                         need_lsq: int) -> None:
+        """Record one stalled-allocation cycle against every resource
+        that lacked room for the request.  The caller must invoke this
+        at most once per stalled cycle, so ``full_events`` stays equal
+        to the number of cycles the resource blocked allocation."""
         rob = self.rob
         if rob.capacity - rob.occupancy < need_rob:
-            rob.full_events += 1
-            ok = False
+            rob.note_full()
         iq = self.iq
         if iq.capacity - iq.occupancy < need_iq:
-            iq.full_events += 1
-            ok = False
+            iq.note_full()
         lsq = self.lsq
         if lsq.capacity - lsq.occupancy < need_lsq:
-            lsq.full_events += 1
-            ok = False
-        return ok
+            lsq.note_full()

@@ -46,6 +46,14 @@ class OpRecord:
         """Cycles spent waiting in the issue queue."""
         return max(0, self.issue - self.dispatch)
 
+    def as_dict(self) -> dict:
+        return {"seq": self.seq, "pc": self.pc, "op": self.op_name,
+                "fetch": self.fetch, "dispatch": self.dispatch,
+                "issue": self.issue, "complete": self.complete,
+                "commit": self.commit, "l2_miss": self.l2_miss,
+                "forwarded": self.forwarded,
+                "mispredicted": self.mispredicted}
+
 
 class PipelineTracer:
     """Records the last ``capacity`` committed ops of a processor."""
@@ -102,3 +110,14 @@ class PipelineTracer:
         """The ``n`` longest-lived recorded ops (critical suspects)."""
         return sorted(self.records, key=lambda r: r.latency,
                       reverse=True)[:n]
+
+    def to_jsonl(self, path: str) -> int:
+        """Export the recorded lifecycles as JSON lines; returns the
+        record count (same convention as
+        :meth:`repro.debug.events.EventTrace.to_jsonl`)."""
+        import json
+        records = list(self.records)
+        with open(path, "w", encoding="utf-8") as fh:
+            for r in records:
+                fh.write(json.dumps(r.as_dict()) + "\n")
+        return len(records)

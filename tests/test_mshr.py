@@ -70,3 +70,86 @@ class TestMSHR:
         m.allocate(0x100, 70)
         assert m.lookup(0x100) == 70
         assert m.occupancy(0) == 1
+
+
+class TestCapacityEnforcement:
+    """allocate() guards the ``entries`` bound instead of trusting callers."""
+
+    def test_full_file_raises(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        m.allocate(0x200, 80)
+        with pytest.raises(RuntimeError):
+            m.allocate(0x300, 90)
+
+    def test_full_file_raises_with_claim_cycle(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50, cycle=0)
+        m.allocate(0x200, 80, cycle=0)
+        with pytest.raises(RuntimeError):
+            m.allocate(0x300, 90, cycle=10)
+
+    def test_claim_after_release_is_legal(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50, cycle=0)
+        m.allocate(0x200, 80, cycle=0)
+        # at cycle 50 the first entry has released its slot
+        m.allocate(0x300, 120, cycle=50)
+        assert m.lookup(0x300) == 120
+
+    def test_merge_then_allocate_same_line(self):
+        """Refreshing a line that is still in flight consumes no new
+        entry, so it must be legal even when the file is otherwise full."""
+        m = MSHRFile(2)
+        m.allocate(0x100, 50, cycle=0)
+        m.allocate(0x200, 80, cycle=0)
+        assert m.merge(0x100) == 50
+        m.allocate(0x100, 60, cycle=10)     # refresh of a live line
+        assert m.lookup(0x100) == 60
+
+    def test_enforcement_does_not_reap(self):
+        """The cycle-based bound check must not mutate the pending dict
+        (reap-sensitive callers observe it)."""
+        m = MSHRFile(4)
+        m.allocate(0x100, 50)
+        m.allocate(0x200, 90, cycle=60)     # 0x100 expired but not reaped
+        assert m.lookup(0x100) == 50        # stale entry still visible
+
+
+class TestQueuedClaims:
+    """Over-capacity claims queue: the k-th waits for the k-th release."""
+
+    def test_successive_claims_get_distinct_releases(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50, cycle=0)
+        m.allocate(0x200, 80, cycle=0)
+        w1 = m.allocate_delay(cycle=10)
+        assert w1 == 40                     # first waits for the 50-release
+        m.allocate(0x300, 200, cycle=10 + w1)
+        w2 = m.allocate_delay(cycle=10)
+        assert w2 == 70                     # second waits for the 80-release
+        m.allocate(0x400, 220, cycle=10 + w2)
+        assert m.full_stalls == 2
+
+    def test_in_flight_vs_reserved(self):
+        """A queued claim reserves capacity before it holds an entry."""
+        m = MSHRFile(1)
+        m.allocate(0x100, 50, cycle=0)
+        wait = m.allocate_delay(cycle=10)
+        m.allocate(0x200, 150, cycle=10 + wait)
+        # before the release: one entry held, two reserved
+        assert m.in_flight(20) == 1
+        assert m.reserved(20) == 2
+        # after the release: the queued claim holds the entry
+        assert m.in_flight(60) == 1
+        assert m.reserved(60) == 1
+
+    def test_queries_are_pure(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, 50)
+        for __ in range(3):
+            assert not m.has_room(cycle=10)
+            assert m.in_flight(10) == 1
+            assert m.reserved(10) == 1
+        assert m.full_stalls == 0           # only allocate_delay records
+        assert m.has_room(cycle=60)         # released by then

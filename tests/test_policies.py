@@ -44,7 +44,8 @@ class TestOccupancyPolicy:
                             enlarge_stall_threshold=0.05)
         window.iq.allocate(64)
         for cycle in range(70):
-            window.has_room(1, 1, 0)      # records IQ full events
+            # the dispatch stage records one full event per stalled cycle
+            window.note_alloc_stall(1, 1, 0)
             d = p.tick(cycle, window)
             if d.new_level is not None:
                 break

@@ -32,12 +32,25 @@ class TestWindowResource:
         with pytest.raises(RuntimeError):
             r.release()
 
-    def test_is_full_counts_events(self):
+    def test_is_full_is_a_pure_query(self):
+        """Observation and recording are split: any number of is_full()
+        calls must leave the stall signal untouched."""
         r = WindowResource("x", 1, 8)
         assert not r.is_full()
         r.allocate()
-        assert r.is_full()
+        for __ in range(5):
+            assert r.is_full()
+        assert r.full_events == 0
+        r.note_full()
         assert r.full_events == 1
+
+    def test_release_count_tracked(self):
+        r = WindowResource("x", 4, 8)
+        r.allocate(3)
+        r.release(2)
+        assert r.alloc_count == 3
+        assert r.release_count == 2
+        assert r.alloc_count - r.release_count == r.occupancy
 
     def test_peak_occupancy(self):
         r = WindowResource("x", 4, 8)
@@ -102,7 +115,29 @@ class TestWindowSet:
         assert w.has_room(1, 1, 1)
         w.iq.allocate(64)
         assert not w.has_room(1, 1, 0)
-        assert w.iq.full_events >= 1
+
+    def test_has_room_never_mutates(self):
+        """Querying fullness twice in one cycle must not double-count
+        the stall-rate signal the resizing policies consume."""
+        w = WindowSet(LEVEL_TABLE, level=1)
+        w.iq.allocate(64)
+        for __ in range(3):
+            assert not w.has_room(1, 1, 0)
+        assert w.iq.full_events == 0
+        assert w.rob.full_events == 0
+        assert w.lsq.full_events == 0
+
+    def test_note_alloc_stall_charges_lacking_resources(self):
+        w = WindowSet(LEVEL_TABLE, level=1)
+        w.iq.allocate(64)
+        w.lsq.allocate(64)
+        w.note_alloc_stall(1, 1, 1)
+        assert w.iq.full_events == 1
+        assert w.lsq.full_events == 1
+        assert w.rob.full_events == 0       # the ROB had room
+        w.note_alloc_stall(1, 1, 0)         # non-mem op: LSQ not needed
+        assert w.iq.full_events == 2
+        assert w.lsq.full_events == 1
 
 
 class TestOccupancyInvariant:

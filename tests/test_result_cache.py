@@ -170,6 +170,32 @@ class TestSweepStoreIntegration:
         other.run("gcc", base_config())
         assert other.sim_runs == 1 and other.cache_hits == 0
 
+    def test_sanitize_bypasses_stale_entries(self, tmp_path):
+        """A warm cache must not let a sanitized campaign skip its checks:
+        entries produced *without* the sanitizer are read-bypassed."""
+        store = ResultStore(str(tmp_path))
+        Sweep(self.SETTINGS, store=store).run("gcc", base_config())
+
+        sanitizing = Sweep(dataclasses.replace(self.SETTINGS, sanitize=True),
+                           store=ResultStore(str(tmp_path)))
+        sanitizing.run("gcc", base_config())
+        assert sanitizing.sim_runs == 1 and sanitizing.cache_hits == 0
+
+    def test_sanitize_reuses_own_sanitized_entries(self, tmp_path):
+        """Entries this process produced under the sanitizer are trusted:
+        the checks already ran, so a second sweep sharing the store reuses
+        them instead of simulating (and checking) twice."""
+        store = ResultStore(str(tmp_path))
+        sanitized = dataclasses.replace(self.SETTINGS, sanitize=True)
+        first = Sweep(sanitized, store=store)
+        result = first.run("gcc", base_config())
+        assert first.sim_runs == 1
+
+        second = Sweep(sanitized, store=store)
+        reused = second.run("gcc", base_config())
+        assert second.sim_runs == 0 and second.cache_hits == 1
+        assert reused.cycles == result.cycles
+
     def test_active_store_reaches_new_sweeps(self, tmp_path):
         store = ResultStore(str(tmp_path))
         result_cache.set_active_store(store)
