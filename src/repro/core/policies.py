@@ -41,6 +41,22 @@ class ResizingPolicy(ABC):
     """Per-cycle window resizing decision maker."""
 
     level: int
+    #: when set, the policy is frozen at this level for the whole run:
+    #: the processor treats it exactly like a :class:`StaticPolicy`
+    #: (tick, miss notification and timers are all skipped), so a pinned
+    #: run is bit-identical to a static one — the differential oracle in
+    #: :mod:`repro.verify` is built on this.
+    pinned_level: int | None = None
+
+    def pin(self, level: int) -> "ResizingPolicy":
+        """Freeze this policy at ``level``; returns ``self`` so a pinned
+        policy can be built in one expression.  Must be called before
+        the policy is handed to a :class:`~repro.pipeline.Processor`."""
+        if level < 1:
+            raise ValueError(f"pin level must be >= 1, got {level}")
+        self.pinned_level = level
+        self.level = level
+        return self
 
     @abstractmethod
     def on_l2_miss(self, cycle: int) -> None:
@@ -84,6 +100,7 @@ class OccupancyPolicy(ResizingPolicy):
         self.enlarge_stall_threshold = enlarge_stall_threshold
         self.level = 1
         self._next_check = period
+        self._last_check_cycle = 0
         self._occ_sum = 0
         self._samples = 0
         self._last_full_events = 0
@@ -103,6 +120,13 @@ class OccupancyPolicy(ResizingPolicy):
             return ResizeDecision(stop_alloc=True)
         if cycle < self._next_check:
             return ResizeDecision()
+        # A check can be deferred past _next_check (the early _want_shrink
+        # return during a stop_alloc drain), so the stall rate divides by
+        # the cycles actually elapsed since the last evaluation — dividing
+        # by the nominal period would under-report exactly when the
+        # machine is already struggling to drain.
+        elapsed = max(1, cycle - self._last_check_cycle)
+        self._last_check_cycle = cycle
         self._next_check = cycle + self.period
         avg_occ = self._occ_sum / max(1, self._samples)
         # full_events is a pure recording counter (bumped once per
@@ -113,7 +137,7 @@ class OccupancyPolicy(ResizingPolicy):
         self._last_full_events = window.iq.full_events
         self._occ_sum = 0
         self._samples = 0
-        stall_rate = full_events / self.period
+        stall_rate = full_events / elapsed
         if (stall_rate > self.enlarge_stall_threshold
                 and self.level < self.max_level):
             self.level += 1
@@ -130,48 +154,113 @@ class OccupancyPolicy(ResizingPolicy):
 
 
 class ContributionPolicy(ResizingPolicy):
-    """ILP-feedback resizing (Folegnani-style), probe-and-keep."""
+    """ILP-feedback resizing (Folegnani-style), probe-and-keep.
+
+    Commit throughput is read from :attr:`WindowSet.committed`, which the
+    processor's commit stage keeps current.  Every ``period`` cycles the
+    policy either *measures* (refreshing the reference rate) or *trials*
+    a one-level move and keeps it only if the next period's rate
+    justifies it: an enlargement must improve commit rate by
+    ``keep_gain``; a shrink is kept unless the larger window was earning
+    ``keep_gain``.  The downward trial models Folegnani & González's
+    rule of shrinking when the youngest window region contributes
+    nothing — without it the policy can only ratchet upward, so any
+    transient (even pipeline warm-up) pins it at the maximum level for
+    the rest of the run.
+
+    Two properties keep the feedback honest:
+
+    * the reference rate is *windowed* — always the most recent full
+      measurement period, never a high-water mark, so a transient
+      high-IPC phase cannot permanently inflate the keep threshold;
+    * rates divide by the cycles actually elapsed since the previous
+      evaluation, so a check deferred by a shrink drain cannot skew the
+      measurement.
+
+    A reverted trial backs off for ``cooldown`` checks and flips the
+    next trial direction, so the policy settles at the smallest level
+    whose window earns its keep instead of thrashing.
+    """
 
     def __init__(self, max_level: int, period: int = 4096,
-                 keep_gain: float = 1.03) -> None:
+                 keep_gain: float = 1.03, cooldown: int = 3) -> None:
         self.max_level = max_level
         self.period = period
         self.keep_gain = keep_gain
+        self.cooldown = cooldown
         self.level = 1
         self._next_check = period
+        self._last_check_cycle = 0
         self._commits_at_check = 0
         self._last_rate = 0.0
-        self._probing = False
+        self._probe_dir = 0        # +1 trialing up, -1 trialing down, 0 idle
+        self._prefer_down = False  # next trial direction (flipped on revert)
+        self._cooldown_left = 0
         self._want_shrink = False
-        self.committed = 0   # updated by the processor each commit
 
     def on_l2_miss(self, cycle: int) -> None:
         pass
 
-    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
-        if self._want_shrink:
-            if window.can_shrink_to(self.level - 1):
-                self.level -= 1
-                self._want_shrink = False
-                return ResizeDecision(new_level=self.level)
-            return ResizeDecision(stop_alloc=True)
-        if cycle < self._next_check:
-            return ResizeDecision()
-        rate = (self.committed - self._commits_at_check) / self.period
-        self._commits_at_check = self.committed
-        self._next_check = cycle + self.period
-        if self._probing:
-            self._probing = False
-            if rate < self._last_rate * self.keep_gain and self.level > 1:
-                self._want_shrink = True   # probe did not pay off
-            self._last_rate = max(rate, self._last_rate)
-            return ResizeDecision()
-        self._last_rate = rate
-        if self.level < self.max_level:
-            self._probing = True
+    def _shrink_one(self, window: WindowSet) -> ResizeDecision:
+        """Shrink one level now if vacant, else stall allocation."""
+        if window.can_shrink_to(self.level - 1):
+            self.level -= 1
+            self._want_shrink = False
+            return ResizeDecision(new_level=self.level)
+        return ResizeDecision(stop_alloc=True)
+
+    def _start_trial(self, window: WindowSet) -> ResizeDecision:
+        """Begin a one-level trial in the preferred feasible direction."""
+        up_ok = self.level < self.max_level
+        down_ok = self.level > 1
+        if down_ok and (self._prefer_down or not up_ok):
+            self._probe_dir = -1
+            self._want_shrink = True
+            return self._shrink_one(window)
+        if up_ok:
+            self._probe_dir = +1
             self.level += 1
             return ResizeDecision(new_level=self.level)
         return ResizeDecision()
+
+    def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
+        if self._want_shrink:
+            return self._shrink_one(window)
+        if cycle < self._next_check:
+            return ResizeDecision()
+        elapsed = max(1, cycle - self._last_check_cycle)
+        rate = (window.committed - self._commits_at_check) / elapsed
+        self._commits_at_check = window.committed
+        self._last_check_cycle = cycle
+        self._next_check = cycle + self.period
+        direction = self._probe_dir
+        self._probe_dir = 0
+        if direction > 0:
+            if rate < self._last_rate * self.keep_gain:
+                # enlargement did not pay: revert and try down next
+                self._want_shrink = True
+                self._prefer_down = True
+                self._cooldown_left = self.cooldown
+            self._last_rate = rate         # windowed reference, no ratchet
+            return ResizeDecision()
+        if direction < 0:
+            ref = self._last_rate
+            self._last_rate = rate
+            if rate * self.keep_gain >= ref:
+                # the larger window was not earning its keep_gain:
+                # stay small, keep trialing downward
+                self._prefer_down = True
+                return ResizeDecision()
+            # shrink cost throughput: re-enlarge, try up next
+            self.level += 1
+            self._prefer_down = False
+            self._cooldown_left = self.cooldown
+            return ResizeDecision(new_level=self.level)
+        self._last_rate = rate
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return ResizeDecision()
+        return self._start_trial(window)
 
     @property
     def wants_tick_every_cycle(self) -> bool:
@@ -179,7 +268,9 @@ class ContributionPolicy(ResizingPolicy):
 
 
 def make_policy(name: str, max_level: int, memory_latency: int) -> ResizingPolicy:
-    """Policy factory for the ablation experiments."""
+    """Policy factory for the ablation experiments and the verify
+    oracles.  ``static`` pins level 1; ``static:N`` pins level ``N``
+    (``N`` in 1..``max_level``)."""
     from repro.core.resizing import MLPAwarePolicy
     if name == "mlp":
         return MLPAwarePolicy(max_level, memory_latency)
@@ -187,7 +278,16 @@ def make_policy(name: str, max_level: int, memory_latency: int) -> ResizingPolic
         return OccupancyPolicy(max_level)
     if name == "contribution":
         return ContributionPolicy(max_level)
-    if name == "static":
-        return StaticPolicy(1)
+    if name == "static" or name.startswith("static:"):
+        __, ___, arg = name.partition(":")
+        try:
+            level = int(arg) if arg else 1
+        except ValueError:
+            raise ValueError(
+                f"bad static level {arg!r} in policy name {name!r}") from None
+        if not 1 <= level <= max_level:
+            raise ValueError(
+                f"static level {level} outside 1..{max_level}")
+        return StaticPolicy(level)
     raise ValueError(f"unknown policy {name!r}; "
-                     "known: mlp, occupancy, contribution, static")
+                     "known: mlp, occupancy, contribution, static[:N]")

@@ -69,13 +69,23 @@ class MLPAwarePolicy(ResizingPolicy):
         the same cycle raise the level only once — but misses in
         distinct cycles each count.
         """
-        if not self._pending_misses or cycle > self._pending_misses[-1]:
-            self._pending_misses.append(cycle)
-        elif cycle < self._pending_misses[-1]:
-            # out-of-order notification within the same tick window
-            if cycle not in self._pending_misses:
-                self._pending_misses.append(cycle)
-                self._pending_misses = deque(sorted(self._pending_misses))
+        pending = self._pending_misses
+        if not pending or cycle > pending[-1]:
+            pending.append(cycle)
+        elif cycle < pending[-1]:
+            # Out-of-order notification within the same tick window:
+            # peel the (few) younger entries off the tail, splice the
+            # new cycle in unless it is already present, and push the
+            # tail back.  O(k) in the number of younger entries instead
+            # of the old O(n) membership scan plus full re-sort; the
+            # resulting deque (sorted, duplicate-free) is identical.
+            tail = []
+            while pending and pending[-1] > cycle:
+                tail.append(pending.pop())
+            if not pending or pending[-1] != cycle:
+                pending.append(cycle)
+            while tail:
+                pending.append(tail.pop())
 
     def tick(self, cycle: int, window: WindowSet) -> ResizeDecision:
         """One controller cycle; returns the decision for the processor."""

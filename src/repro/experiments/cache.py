@@ -254,6 +254,12 @@ class JobSpec:
     #: run this job with the invariant sanitizer attached.  Not part of
     #: the result key: a sanitized run is bit-identical, it just checks.
     sanitize: bool = False
+    #: fast-forward over provably idle cycles (the default).  Also not
+    #: part of the result key — ff is timing-invariant by design, and
+    #: :mod:`repro.verify` exists to prove it; a caller pairing ff with
+    #: no-ff runs must disambiguate the keys itself via ``key_extra``
+    #: (see ``repro.verify.fuzz``).
+    fast_forward: bool = True
 
 
 class JobRecorder:

@@ -72,7 +72,8 @@ def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
         _TRACE_MEMO[memo_key] = trace
     result = simulate(spec.config, trace, warmup=spec.warmup,
                       measure=spec.measure, policy=spec.policy,
-                      sanitize=spec.sanitize)
+                      sanitize=spec.sanitize,
+                      fast_forward=spec.fast_forward)
     EnergyModel().annotate(result, spec.config)
     return spec.key, result, time.perf_counter() - started
 

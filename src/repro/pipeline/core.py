@@ -53,7 +53,8 @@ FETCH_BUFFER = 24
 #: cache (:mod:`repro.experiments.cache`) keys on it, so bump it whenever
 #: a change can alter any simulated cycle count; host-speed optimisations
 #: that leave timing identical must NOT bump it.
-SIM_VERSION = "2"   # 2: MSHR capacity invariant enforced (queued claims)
+SIM_VERSION = "3"   # 3: comparator policies fixed (commit wiring, rate
+#                        denominators) — contribution/occupancy runs change
 
 # function-unit pools
 _FU_POOL = {
@@ -208,9 +209,14 @@ class Processor:
         self._width = config.width
         self._l1i_line_bytes = config.l1i.line_bytes
         self._l1i_hit_latency = config.l1i.hit_latency
-        #: a StaticPolicy never resizes or stops allocation, so its
-        #: per-cycle tick (and decision allocation) can be skipped whole
-        self._policy_inert = type(self.policy) is StaticPolicy
+        #: a StaticPolicy — or any policy pinned to a constant level via
+        #: ResizingPolicy.pin() — never resizes or stops allocation, so
+        #: its per-cycle tick (and decision allocation), miss
+        #: notifications and timers are all skipped whole.  This is the
+        #: pin-equivalence hook: a pinned run takes exactly the code
+        #: paths of a static one (repro.verify asserts bit-identity).
+        self._policy_inert = (type(self.policy) is StaticPolicy
+                              or self.policy.pinned_level is not None)
         self._refresh_capacity_cache()
 
         # resizing state
@@ -276,7 +282,8 @@ class Processor:
             self.cycle + self.config.transition_penalty)
 
     def _on_l2_miss(self, detect_cycle: int) -> None:
-        self.policy.on_l2_miss(detect_cycle)
+        if not self._policy_inert:
+            self.policy.on_l2_miss(detect_cycle)
         self.stats.l2_miss_cycles.append(detect_cycle)
 
     # ------------------------------------------------------------------
@@ -424,6 +431,11 @@ class Processor:
                 lsq_release()
             self._commit_op(op)
             committed += 1
+        if committed:
+            # keep the WindowSet's commit counter current: feedback
+            # policies (ContributionPolicy) read their commit-throughput
+            # signal from it at tick time
+            window.committed += committed
         if committed < width:
             reason = self._classify_commit_block()
             self.stats.note_stall_slots(reason, width - committed)
@@ -930,11 +942,14 @@ class Processor:
             head_ready = self._decode_q[0][0]
             if head_ready > now:
                 candidates.append(head_ready)
-        if self.policy.wants_tick_every_cycle:
+        # an inert (static or pinned) policy never acts, so its per-cycle
+        # wishes and timers must not shape fast-forwarding either — a
+        # pinned run has to take the exact jump sequence of a static one
+        if not self._policy_inert and self.policy.wants_tick_every_cycle:
             candidates.append(now + 1)
         future = [c for c in candidates if c > now]
         machine_next = min(future) if future else None
-        timer = self.policy.next_timer()
+        timer = None if self._policy_inert else self.policy.next_timer()
         if (timer is not None and timer > now
                 and (machine_next is None or timer < machine_next)):
             # the policy timer alone wakes the core: tag the jump so the
@@ -1052,7 +1067,8 @@ class Processor:
 def simulate(config: ProcessorConfig, trace: "Trace",
              warmup: int = 5_000, measure: int = 30_000,
              policy: ResizingPolicy | None = None,
-             prewarm: bool = True, sanitize: bool = False) -> SimulationResult:
+             prewarm: bool = True, sanitize: bool = False,
+             fast_forward: bool = True) -> SimulationResult:
     """Run one trace on one configuration and return the measured result.
 
     The caches are pre-installed with the trace's resident regions
@@ -1065,11 +1081,18 @@ def simulate(config: ProcessorConfig, trace: "Trace",
     sanitizer for the whole run (including warmup) and verifies the
     final accounting before returning.  Timing is unchanged; host speed
     is not.
+
+    ``fast_forward=False`` forces the main loop to step every simulated
+    cycle instead of jumping over provably idle ones.  Observable timing
+    must be unchanged — that is the fast-forward equivalence oracle of
+    :mod:`repro.verify`, which would catch any timer-skew bug where a
+    jump lands past a cycle a policy needed to observe.
     """
     if len(trace.ops) < warmup + measure:
         raise ValueError(
             f"trace has {len(trace.ops)} ops; need {warmup + measure}")
     proc = Processor(config, trace, policy=policy, sanitize=sanitize)
+    proc.fast_forward = fast_forward
     if prewarm:
         proc.prewarm()
     if warmup:

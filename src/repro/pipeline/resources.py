@@ -104,6 +104,11 @@ class WindowSet:
         self.rob = WindowResource("ROB", cfg.rob_entries, top.rob_entries)
         self.iq = WindowResource("IQ", cfg.iq_entries, top.iq_entries)
         self.lsq = WindowResource("LSQ", cfg.lsq_entries, top.lsq_entries)
+        #: micro-ops retired so far, kept current by the processor's
+        #: commit stage — the commit-throughput input of the feedback
+        #: policies (see ContributionPolicy), which receive the WindowSet
+        #: every tick but must not reach into processor internals.
+        self.committed = 0
 
     def can_shrink_to(self, level: int) -> bool:
         """True if *all three* resources can shrink simultaneously

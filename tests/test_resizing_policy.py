@@ -199,6 +199,26 @@ class TestPendingMissQueue:
         d = policy.tick(25, window)
         assert d.new_level == 3          # 2 distinct cycles, not 3
 
+    def test_duplicate_in_the_middle_not_double_counted(self, policy):
+        policy.on_l2_miss(10)
+        policy.on_l2_miss(30)
+        policy.on_l2_miss(20)
+        policy.on_l2_miss(20)            # duplicate of a middle entry
+        assert list(policy._pending_misses) == [10, 20, 30]
+
+    def test_insertion_matches_sorted_unique_reference(self, policy):
+        """The O(k) tail-splice insertion must leave exactly the queue
+        the old sort-the-whole-deque code produced: ascending, no
+        duplicates — for arbitrary notification orders."""
+        import random
+        rng = random.Random(42)
+        seen = []
+        for _ in range(500):
+            cycle = rng.randrange(64)
+            policy.on_l2_miss(cycle)
+            seen.append(cycle)
+            assert list(policy._pending_misses) == sorted(set(seen))
+
     def test_future_miss_not_processed_early(self, policy, window):
         policy.on_l2_miss(100)
         assert policy.tick(50, window).new_level is None
