@@ -37,7 +37,31 @@ from repro.pipeline.resources import WindowSet
 
 
 class MLPAwarePolicy(ResizingPolicy):
-    """The paper's LLC-miss-driven resizing policy."""
+    """The paper's LLC-miss-driven resizing policy.
+
+    Invariants maintained across ticks:
+
+    * ``1 <= level <= max_level`` always; growth saturates at
+      ``max_level``, shrink stops at 1.
+    * Level changes are unit steps per *decision* — a cycle with several
+      pending misses can raise the level by more than one, but each
+      shrink lowers it by exactly one, and a shrink is only granted
+      after ``window.can_shrink_to`` confirms the vacated region is
+      empty (until then the decision is ``stop_alloc``: drain).
+    * ``shrink_timing`` is re-armed by every miss *and* by every granted
+      shrink, so one miss-free memory latency is required per level on
+      the way down (the paper's staircase descent, Figure 6).
+    * ``_pending_misses`` stays sorted and duplicate-free; misses are
+      coalesced per detection cycle (the pseudo-code's per-cycle
+      ``L2_miss`` test).
+
+    Observability: the policy itself carries only the ``enlarges`` /
+    ``shrinks`` totals.  Per-event timelines come from the telemetry
+    layer, which observes the applied transitions at
+    ``Processor._apply_level`` (``grow``/``shrink`` events) and the
+    trigger stream via the hierarchy's L2-miss listener — nothing here
+    needs instrumenting (see ``docs/observability.md``).
+    """
 
     def __init__(self, max_level: int, memory_latency: int,
                  shrink_latency: int | None = None) -> None:

@@ -58,11 +58,28 @@ def main(argv=None) -> int:
                         help="attach the repro.debug invariant sanitizer "
                              "to every simulation (slower; cached results "
                              "are bypassed so the checks actually run)")
+    parser.add_argument("--telemetry", type=int, nargs="?", const=256,
+                        default=0, metavar="PERIOD",
+                        help="record a per-job telemetry time-series "
+                             "(sampled every PERIOD cycles; 256 when the "
+                             "flag is given bare) into "
+                             "<cache-dir>/telemetry/<key>.jsonl — render "
+                             "one with `python -m repro.telemetry report`")
     args = parser.parse_args(argv)
+
+    if args.telemetry and args.no_cache:
+        print("--telemetry needs the on-disk store for its artifacts; "
+              "it cannot be combined with --no-cache", file=sys.stderr)
+        return 2
+    if args.telemetry < 0:
+        print(f"--telemetry period must be >= 1, got {args.telemetry}",
+              file=sys.stderr)
+        return 2
 
     settings = Settings(all_programs=not args.selected, warmup=args.warmup,
                         measure=args.measure, seed=args.seed,
-                        sanitize=args.sanitize)
+                        sanitize=args.sanitize,
+                        telemetry_period=args.telemetry)
     wanted = [e for e in args.only.split(",") if e] or list(EXPERIMENTS)
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
@@ -110,7 +127,9 @@ def main(argv=None) -> int:
         print(f"exported {len(written)} files to {args.csv_dir}")
     summary = [f"total: {time.time() - start:.1f}s",
                f"cache {sweep.cache_hits} hit / {sweep.sim_runs} simulated "
-               f"this pass"]
+               f"this pass",
+               f"store: {store.memory_hits} mem / {store.disk_hits} disk "
+               f"hits, {store.misses} misses"]
     if report.executed:
         summary.append(
             f"fan-out: {report.executed} jobs on {report.workers} worker"
@@ -120,7 +139,17 @@ def main(argv=None) -> int:
             + f"{report.wall_seconds:.1f}s wall)")
     elif report.planned:
         summary.append("fan-out: warm cache, nothing simulated")
+    artifacts = report.telemetry_artifacts + sweep.telemetry_artifacts
+    if args.telemetry:
+        from repro.experiments.cache import telemetry_dir
+        summary.append(f"telemetry: {artifacts} artifacts in "
+                       f"{telemetry_dir(store)} (period {args.telemetry})")
     print(" | ".join(summary))
+    slowest = report.slowest_programs()
+    if slowest:
+        print("slowest programs: "
+              + ", ".join(f"{prog} {secs:.1f}s/{jobs} jobs"
+                          for prog, secs, jobs in slowest))
     return 0
 
 

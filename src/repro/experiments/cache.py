@@ -50,6 +50,23 @@ def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", ".simcache")
 
 
+def telemetry_dir(store: "ResultStore | None") -> str | None:
+    """Where a campaign's per-job telemetry artifacts live.
+
+    Telemetry artifacts need the on-disk store (they are files, keyed by
+    the same content address as the result they accompany); a
+    memory-only store yields None and campaign telemetry is disabled.
+    """
+    if store is None or store.directory is None:
+        return None
+    return os.path.join(store.directory, "telemetry")
+
+
+def telemetry_artifact_path(directory: str, key: str) -> str:
+    """Path of the JSONL telemetry artifact for result ``key``."""
+    return os.path.join(directory, key + ".jsonl")
+
+
 # ----------------------------------------------------------------------
 # fingerprints
 
@@ -260,6 +277,15 @@ class JobSpec:
     #: no-ff runs must disambiguate the keys itself via ``key_extra``
     #: (see ``repro.verify.fuzz``).
     fast_forward: bool = True
+    #: sample the run with a :class:`repro.telemetry.TelemetryProbe`
+    #: every this-many cycles (0 = off) and drop the recording as a
+    #: JSONL artifact into ``telemetry_dir``.  Like ``sanitize``, not
+    #: part of the result key: sampling is digest-neutral (pure reads
+    #: only), so a telemetry run produces a bit-identical result.
+    telemetry_period: int = 0
+    #: directory for the per-job telemetry artifact
+    #: (``<telemetry_dir>/<key>.jsonl``); None disables writing.
+    telemetry_dir: str | None = None
 
 
 class JobRecorder:

@@ -28,6 +28,7 @@ from repro.experiments.cache import (
     JobSpec,
     ResultStore,
     recording,
+    telemetry_artifact_path,
 )
 from repro.pipeline import simulate
 from repro.stats import SimulationResult
@@ -62,7 +63,15 @@ _TRACE_MEMO: dict[tuple, object] = {}
 
 
 def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
-    """Execute one simulation (in a worker process or inline)."""
+    """Execute one simulation (in a worker process or inline).
+
+    When the spec asks for telemetry, the probe's recording is written
+    straight to its JSONL artifact from the worker — the (potentially
+    large) time-series never rides the result pickle back to the
+    parent.  The result itself is bit-identical either way (sampling is
+    digest-neutral), so the store entry carries no trace of whether
+    telemetry was on.
+    """
     started = time.perf_counter()
     memo_key = (spec.program, spec.trace_ops, spec.seed)
     trace = _TRACE_MEMO.get(memo_key)
@@ -70,11 +79,19 @@ def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
         trace = generate_trace(profile(spec.program), n_ops=spec.trace_ops,
                                seed=spec.seed)
         _TRACE_MEMO[memo_key] = trace
+    probe = None
+    if spec.telemetry_period and spec.telemetry_dir:
+        from repro.telemetry import TelemetryProbe
+        probe = TelemetryProbe(period=spec.telemetry_period)
     result = simulate(spec.config, trace, warmup=spec.warmup,
                       measure=spec.measure, policy=spec.policy,
                       sanitize=spec.sanitize,
-                      fast_forward=spec.fast_forward)
+                      fast_forward=spec.fast_forward,
+                      telemetry=probe)
     EnergyModel().annotate(result, spec.config)
+    if probe is not None:
+        probe.telemetry.to_jsonl(
+            telemetry_artifact_path(spec.telemetry_dir, spec.key))
     return spec.key, result, time.perf_counter() - started
 
 
@@ -89,12 +106,25 @@ class ExecutionReport:
     busy_seconds: float = 0.0
     wall_seconds: float = 0.0
     per_program: dict[str, int] = field(default_factory=dict)
+    #: simulator self-time per program (worker wall-clock seconds) —
+    #: the campaign-level profiling counterpart of StageProfiler
+    per_program_seconds: dict[str, float] = field(default_factory=dict)
+    #: telemetry artifacts written by the fan-out this run
+    telemetry_artifacts: int = 0
 
     def utilisation(self) -> float:
         """Fraction of worker capacity kept busy during the fan-out."""
         if self.wall_seconds <= 0 or self.workers <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / (self.wall_seconds * self.workers))
+
+    def slowest_programs(self, n: int = 3) -> list[tuple[str, float, int]]:
+        """Top ``n`` programs by simulator self-time: (program,
+        seconds, jobs), most expensive first."""
+        ranked = sorted(self.per_program_seconds.items(),
+                        key=lambda kv: kv[1], reverse=True)
+        return [(prog, secs, self.per_program.get(prog, 0))
+                for prog, secs in ranked[:n]]
 
     def summary(self) -> str:
         if not self.planned:
@@ -120,10 +150,20 @@ def execute_campaign(recorder: JobRecorder, store: ResultStore,
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
+
+    def _artifact_missing(spec: JobSpec) -> bool:
+        # a cached result whose telemetry artifact is absent still needs
+        # a (re-)run to produce the recording; the result it writes back
+        # is bit-identical to the cached one
+        return (bool(spec.telemetry_period) and spec.telemetry_dir is not None
+                and not os.path.exists(
+                    telemetry_artifact_path(spec.telemetry_dir, spec.key)))
+
     # sanitizing jobs always execute — a cache hit would silently skip
     # the very invariant checks the campaign was asked to run
     todo = [spec for spec in recorder.jobs.values()
-            if spec.sanitize or not store.contains(spec.key)]
+            if spec.sanitize or not store.contains(spec.key)
+            or _artifact_missing(spec)]
     report = ExecutionReport(planned=len(recorder.jobs),
                              already_cached=len(recorder.jobs) - len(todo),
                              executed=len(todo),
@@ -134,20 +174,25 @@ def execute_campaign(recorder: JobRecorder, store: ResultStore,
         report.per_program[spec.program] = (
             report.per_program.get(spec.program, 0) + 1)
     wall_start = time.perf_counter()
+    def _book(spec: JobSpec, key: str, result: SimulationResult,
+              busy: float) -> None:
+        store.put(key, result)
+        if spec.sanitize:
+            store.sanitized_keys.add(key)
+        report.busy_seconds += busy
+        report.per_program_seconds[spec.program] = (
+            report.per_program_seconds.get(spec.program, 0.0) + busy)
+        if spec.telemetry_period and spec.telemetry_dir is not None:
+            report.telemetry_artifacts += 1
+
     if report.workers == 1:
         for spec in todo:
             key, result, busy = _run_job(spec)
-            store.put(key, result)
-            if spec.sanitize:
-                store.sanitized_keys.add(key)
-            report.busy_seconds += busy
+            _book(spec, key, result, busy)
     else:
         with ProcessPoolExecutor(max_workers=report.workers) as pool:
             for spec, (key, result, busy) in zip(todo,
                                                  pool.map(_run_job, todo)):
-                store.put(key, result)
-                if spec.sanitize:
-                    store.sanitized_keys.add(key)
-                report.busy_seconds += busy
+                _book(spec, key, result, busy)
     report.wall_seconds = time.perf_counter() - wall_start
     return report

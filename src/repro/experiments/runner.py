@@ -15,6 +15,7 @@ DESIGN.md §5).
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.config import (
@@ -58,6 +59,12 @@ class Settings:
     #: attached (slower; results bypass the on-disk cache so the checks
     #: actually execute)
     sanitize: bool = False
+    #: attach a :class:`repro.telemetry.TelemetryProbe` with this
+    #: sampling period (cycles) to every simulation and write a per-job
+    #: JSONL artifact next to the on-disk store (0 = off).  Sampling is
+    #: digest-neutral, so — unlike ``sanitize`` — cached results stay
+    #: valid; a cached job re-executes only if its artifact is missing.
+    telemetry_period: int = 0
 
     @property
     def trace_ops(self) -> int:
@@ -134,6 +141,8 @@ class Sweep:
         #: simulations answered from the store vs. actually executed
         self.cache_hits = 0
         self.sim_runs = 0
+        #: telemetry artifacts written by this sweep's serial path
+        self.telemetry_artifacts = 0
 
     def trace(self, program: str):
         trace = self._traces.get(program)
@@ -167,6 +176,9 @@ class Sweep:
             program, config, seed=settings.seed, warmup=settings.warmup,
             measure=settings.measure, trace_ops=settings.trace_ops,
             policy=policy, key_extra=key_extra)
+        store = self.store
+        telemetry_dir = (result_cache.telemetry_dir(store)
+                         if settings.telemetry_period else None)
         recorder = result_cache.active_recorder()
         if recorder is not None:
             # Planning pass: record the job, hand back a placeholder.
@@ -174,30 +186,45 @@ class Sweep:
                 key=skey, program=program, config=config, policy=policy,
                 seed=settings.seed, warmup=settings.warmup,
                 measure=settings.measure, trace_ops=settings.trace_ops,
-                sanitize=settings.sanitize))
+                sanitize=settings.sanitize,
+                telemetry_period=settings.telemetry_period,
+                telemetry_dir=telemetry_dir))
             result = result_cache.placeholder_result(program, config)
             self._results[key] = result
             return result
-        store = self.store
         # A sanitizing campaign must actually *run* the checks, so
         # stored entries are read-bypassed — except those this process
         # itself produced under the sanitizer (the campaign fan-out),
         # whose checks already ran.  Results are always written back:
         # sanitized runs are bit-identical to unsanitized ones.
-        if store is not None and (not settings.sanitize
-                                  or skey in store.sanitized_keys):
+        # A telemetry campaign may reuse any cached result (sampling is
+        # digest-neutral) — but only if the job's artifact already
+        # exists; otherwise it re-simulates to produce the recording.
+        artifact = (result_cache.telemetry_artifact_path(telemetry_dir, skey)
+                    if telemetry_dir is not None else None)
+        if (store is not None
+                and (not settings.sanitize or skey in store.sanitized_keys)
+                and (artifact is None or os.path.exists(artifact))):
             result = store.get(skey)
             if result is not None:
                 self.cache_hits += 1
                 self._results[key] = result
                 return result
+        probe = None
+        if settings.telemetry_period:
+            from repro.telemetry import TelemetryProbe
+            probe = TelemetryProbe(period=settings.telemetry_period)
         result = simulate(config, self.trace(program),
                           warmup=settings.warmup,
                           measure=settings.measure,
                           policy=policy,
-                          sanitize=settings.sanitize)
+                          sanitize=settings.sanitize,
+                          telemetry=probe)
         self.energy.annotate(result, config)
         self.sim_runs += 1
+        if probe is not None and artifact is not None:
+            probe.telemetry.to_jsonl(artifact)
+            self.telemetry_artifacts += 1
         if store is not None:
             store.put(skey, result)
             if settings.sanitize:
@@ -246,7 +273,14 @@ def cli_settings(argv=None, description: str = "") -> Settings:
                         help="attach the repro.debug invariant sanitizer "
                              "to every simulation (slower, bypasses the "
                              "result cache)")
+    parser.add_argument("--telemetry", type=int, nargs="?", const=256,
+                        default=0, metavar="PERIOD",
+                        help="record a telemetry time-series for every "
+                             "simulation, sampled every PERIOD cycles "
+                             "(default 256 when the flag is given bare); "
+                             "artifacts land under the cache directory")
     args = parser.parse_args(argv)
     return Settings(all_programs=not args.selected, warmup=args.warmup,
                     measure=args.measure, seed=args.seed,
-                    sanitize=args.sanitize)
+                    sanitize=args.sanitize,
+                    telemetry_period=args.telemetry)

@@ -231,6 +231,11 @@ class Processor:
 
         #: optional PipelineTracer recording per-op lifecycles
         self.tracer = None
+        #: optional telemetry probe (set by TelemetryProbe.attach).  Like
+        #: ``debug``, this stays None on a plain run and no per-cycle code
+        #: consults it — the probe installs itself by shadowing bound
+        #: methods, so telemetry-off costs nothing (repro.telemetry).
+        self.telemetry = None
         #: fast-forward over provably idle cycles (disable to validate
         #: that the optimisation never changes observable timing)
         self.fast_forward = True
@@ -1068,7 +1073,8 @@ def simulate(config: ProcessorConfig, trace: "Trace",
              warmup: int = 5_000, measure: int = 30_000,
              policy: ResizingPolicy | None = None,
              prewarm: bool = True, sanitize: bool = False,
-             fast_forward: bool = True) -> SimulationResult:
+             fast_forward: bool = True,
+             telemetry=None) -> SimulationResult:
     """Run one trace on one configuration and return the measured result.
 
     The caches are pre-installed with the trace's resident regions
@@ -1087,6 +1093,14 @@ def simulate(config: ProcessorConfig, trace: "Trace",
     must be unchanged — that is the fast-forward equivalence oracle of
     :mod:`repro.verify`, which would catch any timer-skew bug where a
     jump lands past a cycle a policy needed to observe.
+
+    ``telemetry`` takes a :class:`repro.telemetry.TelemetryProbe`; it is
+    attached at the warmup/measurement boundary (so the recording covers
+    exactly the measured region) and flushed before the result is
+    extracted.  Sampling is purely observational: the returned result's
+    canonical stat digest is bit-identical to a ``telemetry=None`` run
+    (the digest-neutrality invariant of :mod:`repro.telemetry`, enforced
+    by ``tests/test_telemetry.py``).
     """
     if len(trace.ops) < warmup + measure:
         raise ValueError(
@@ -1098,7 +1112,11 @@ def simulate(config: ProcessorConfig, trace: "Trace",
     if warmup:
         proc.run(until_committed=warmup)
         proc.reset_measurement()
+    if telemetry is not None:
+        telemetry.attach(proc)
     proc.run(until_committed=warmup + measure)
     if proc.debug is not None:
         proc.debug.final_check()
+    if telemetry is not None:
+        telemetry.finish()
     return proc.result()

@@ -22,10 +22,15 @@ class TimelineSample:
     level: int
     committed: int
     l2_misses: int
+    #: cycles this window covers; 0 on legacy samples constructed
+    #: without it, in which case ``ipc`` is unknowable and reads 0.0
+    window_cycles: int = 0
 
     @property
     def ipc(self) -> float:
-        return 0.0
+        if not self.window_cycles:
+            return 0.0
+        return self.committed / self.window_cycles
 
 
 @dataclass
@@ -80,7 +85,8 @@ class TimelineSampler:
                 cycle=self._next_edge,
                 level=proc.level,
                 committed=committed - self._last_committed,
-                l2_misses=misses - self._last_misses))
+                l2_misses=misses - self._last_misses,
+                window_cycles=self.timeline.window_cycles))
             self._last_committed = committed
             self._last_misses = misses
             self._next_edge += self.timeline.window_cycles

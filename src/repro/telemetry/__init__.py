@@ -1,0 +1,63 @@
+"""Time-series telemetry for the simulator: probes, recordings, reports.
+
+The paper's claims are temporal — level transitions chasing miss
+clusters (Figure 5/6), drain stalls, phase behaviour — but a
+:class:`~repro.stats.SimulationResult` only carries end-of-run
+aggregates.  This package records the trajectory: a
+:class:`TelemetryProbe` samples a running
+:class:`~repro.pipeline.Processor` every ``period`` cycles into a
+ring-buffered :class:`Telemetry` recording (per-interval window level,
+ROB/IQ/LSQ occupancy, MSHR in-flight, width utilisation, CPI-stack
+stall buckets) plus point events (grow/shrink, stall-to-drain onset,
+demand L2-miss detections), exportable as JSONL/CSV and rendered by
+``python -m repro.telemetry``.
+
+Two invariants define the layer, and the test suite enforces both:
+
+* **Zero cost when off.**  Probes install by bound-method shadowing
+  (instance attributes over class methods), the same trick as
+  :mod:`repro.debug`: an unprobed processor executes the original
+  methods with no telemetry branch on any per-cycle path.
+* **Digest neutrality.**  Sampling performs only pure reads — never a
+  recording observation — so a probed run's canonical stat digest
+  (:func:`repro.verify.digest.result_digest`) is bit-identical to an
+  unprobed one, and telemetry artifacts can be produced for cached
+  campaigns without invalidating a single cache entry
+  (``telemetry_period`` is deliberately *not* part of the result key).
+
+Entry points: ``simulate(..., telemetry=TelemetryProbe(...))`` for one
+run; ``python -m repro.experiments --telemetry [PERIOD]`` for per-job
+artifacts under ``.simcache/telemetry/``; ``python -m repro.telemetry``
+to run and render a single instrumented simulation (``--profile`` adds
+per-stage host self-time via :class:`StageProfiler`).
+"""
+
+from repro.telemetry.probe import TelemetryProbe
+from repro.telemetry.profiler import StageProfiler
+from repro.telemetry.recorder import (
+    EVENT_KINDS,
+    STALL_REASONS,
+    IntervalSample,
+    PolicyEvent,
+    Telemetry,
+    load_events_csv,
+    load_samples_csv,
+)
+from repro.telemetry.report import (
+    grow_miss_coincidence,
+    render_report,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "STALL_REASONS",
+    "IntervalSample",
+    "PolicyEvent",
+    "StageProfiler",
+    "Telemetry",
+    "TelemetryProbe",
+    "grow_miss_coincidence",
+    "load_events_csv",
+    "load_samples_csv",
+    "render_report",
+]

@@ -1,0 +1,255 @@
+"""The sampling probe: attaches telemetry to a running processor.
+
+Zero cost when off
+    A probe is installed by *bound-method shadowing*, exactly like the
+    :mod:`repro.debug` sanitizer: wrapper functions are assigned as
+    instance attributes (``proc.advance``, ``proc._apply_level``), which
+    Python resolves before the class methods.  A processor without a
+    probe attached runs the original methods with no telemetry branch
+    anywhere on the per-cycle path — ``proc.telemetry`` stays ``None``
+    and is never consulted by pipeline code.
+
+Digest neutrality
+    Sampling only performs *pure* reads: window occupancies/capacities,
+    :meth:`MSHRFile.in_flight <repro.memory.mshr.MSHRFile.in_flight>`
+    (the non-reaping observation), stat counter values and the
+    hierarchy's demand-miss count.  It never calls an observation that
+    records (``has_room``/``allocate_delay`` — the PR 2 bug class), so
+    a telemetry run's canonical stat digest is bit-identical to a bare
+    run.  ``tests/test_telemetry.py`` locks this in with a verify-style
+    on/off digest-equality regression and ``python -m repro.telemetry
+    smoke`` re-checks it in CI.
+
+Interval semantics under fast-forward
+    Samples are recorded at every crossed period edge *after* the main
+    loop advances the clock.  A fast-forward jump that crosses several
+    edges freezes the machine state, so each skipped edge records that
+    frozen occupancy picture — but the jump's *accounting* (commit
+    deltas, lump-charged stall slots) all lands in the first interval
+    the jump crosses; later intervals inside the jump read as zeros.
+    See ``docs/observability.md`` for how to read the resulting
+    timelines.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.recorder import IntervalSample, PolicyEvent, Telemetry
+
+
+class TelemetryProbe:
+    """Samples one processor every ``period`` cycles into a ring.
+
+    Usage (what ``simulate(..., telemetry=probe)`` does internally)::
+
+        probe = TelemetryProbe(period=256)
+        probe.attach(proc)            # after reset_measurement()
+        proc.run(until_committed=n)
+        telemetry = probe.finish()    # flushes the partial last interval
+
+    Recorded per interval edge: window level, ROB/IQ/LSQ occupancy and
+    active capacity, MSHR in-flight counts, committed/issued/dispatched
+    micro-op deltas (width utilisation), demand L2-miss and stop-alloc
+    deltas, and per-bucket CPI-stack stall slots.  Recorded as events:
+    every ``grow``/``shrink`` level transition, the onset of a
+    stall-to-drain episode, and every demand L2-miss detection.
+
+    ``profile=True`` additionally attaches a
+    :class:`~repro.telemetry.profiler.StageProfiler` measuring host
+    wall-clock self-time per pipeline stage (host-side only; simulated
+    timing is unaffected either way).
+    """
+
+    def __init__(self, period: int = 256, capacity: int = 4096,
+                 event_capacity: int = 8192, profile: bool = False) -> None:
+        self.period = period
+        self.telemetry = Telemetry(period=period, capacity=capacity,
+                                   event_capacity=event_capacity)
+        self.profiler = None
+        if profile:
+            from repro.telemetry.profiler import StageProfiler
+            self.profiler = StageProfiler()
+        self.proc = None
+        self._saved: list[tuple[str, bool, object]] = []
+        self._detached = False
+        self._was_draining = False
+
+    # ------------------------------------------------------------------
+    # attach / detach
+
+    def _shadow(self, name: str, wrapper) -> None:
+        """Install ``wrapper`` as an instance attribute, remembering what
+        (if anything) was shadowed so :meth:`detach` can restore it —
+        including a sanitizer wrapper installed before us."""
+        proc = self.proc
+        had = name in proc.__dict__
+        self._saved.append((name, had, proc.__dict__.get(name)))
+        setattr(proc, name, wrapper)
+
+    def attach(self, proc) -> "TelemetryProbe":
+        """Install the probe on ``proc``; sampling starts at the current
+        cycle (attach at the warmup/measurement boundary to cover
+        exactly the measured region)."""
+        if self.proc is not None:
+            raise RuntimeError("probe is already attached")
+        self.proc = proc
+        proc.telemetry = self
+        tel = self.telemetry
+        from repro.pipeline.core import SIM_VERSION
+        tel.meta.update({
+            "program": proc.trace.name,
+            "model": proc.config.model.value,
+            "level": proc.config.level,
+            "width": proc.config.width,
+            "sim_version": SIM_VERSION,
+            "start_cycle": proc.cycle,
+        })
+        self._prev_edge = proc.cycle
+        self._next_edge = proc.cycle + self.period
+        self._take_baseline()
+
+        period = self.period
+        orig_advance = proc.advance
+
+        def advance(delta: int) -> None:
+            orig_advance(delta)
+            if proc.cycle >= self._next_edge:
+                self._cross_edges()
+            # stall-to-drain onset: the controller wants to shrink but
+            # the region to vacate is still occupied (_policy_stage set
+            # _stop_alloc this cycle)
+            if proc._stop_alloc:
+                if not self._was_draining:
+                    self._was_draining = True
+                    tel.add_event(PolicyEvent(proc.cycle, "drain",
+                                              proc.level, "stop_alloc"))
+            elif self._was_draining:
+                self._was_draining = False
+
+        self._shadow("advance", advance)
+
+        orig_apply = proc._apply_level
+
+        def _apply_level(new_level: int) -> None:
+            old = proc.level
+            orig_apply(new_level)
+            kind = "grow" if new_level > old else "shrink"
+            tel.add_event(PolicyEvent(proc.cycle, kind, new_level,
+                                      f"{old}->{new_level}"))
+
+        self._shadow("_apply_level", _apply_level)
+
+        proc.hierarchy.add_l2_miss_listener(self._on_l2_miss)
+        if self.profiler is not None:
+            self.profiler.attach(proc)
+        return self
+
+    def detach(self) -> None:
+        """Remove the probe's wrappers, restoring whatever they
+        shadowed.  The L2-miss listener cannot be unregistered from the
+        hierarchy, so it goes inert instead."""
+        proc = self.proc
+        if proc is None or self._detached:
+            return
+        for name, had, prev in reversed(self._saved):
+            if had:
+                setattr(proc, name, prev)
+            else:
+                del proc.__dict__[name]
+        self._saved.clear()
+        proc.telemetry = None
+        self._detached = True
+
+    def _on_l2_miss(self, detect_cycle: int) -> None:
+        if self._detached:
+            return
+        self.telemetry.add_event(PolicyEvent(
+            detect_cycle, "l2_miss", self.proc.level))
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def _take_baseline(self) -> None:
+        proc = self.proc
+        stats = proc.stats
+        self._committed = stats.committed_uops
+        self._issued = stats.issued_uops
+        self._dispatched = stats.dispatched_uops
+        self._stop_alloc = stats.stop_alloc_cycles
+        self._l2_misses = proc.hierarchy.demand_l2_misses
+        self._stalls = dict(stats.stall_slots)
+
+    def _cross_edges(self) -> None:
+        proc = self.proc
+        while proc.cycle >= self._next_edge:
+            self._record_sample(self._next_edge)
+            self._next_edge += self.period
+
+    def _record_sample(self, edge: int) -> None:
+        proc = self.proc
+        stats = proc.stats
+        window = proc.window
+        hierarchy = proc.hierarchy
+        stalls_now = stats.stall_slots
+        prev_stalls = self._stalls
+        delta_stalls = {}
+        for reason, slots in stalls_now.items():
+            delta = slots - prev_stalls.get(reason, 0)
+            if delta:
+                delta_stalls[reason] = delta
+        committed = stats.committed_uops
+        issued = stats.issued_uops
+        dispatched = stats.dispatched_uops
+        stop_alloc = stats.stop_alloc_cycles
+        l2_misses = hierarchy.demand_l2_misses
+        self.telemetry.add_sample(IntervalSample(
+            cycle=edge,
+            cycles=edge - self._prev_edge,
+            level=proc.level,
+            rob_occ=window.rob.occupancy, rob_cap=window.rob.capacity,
+            iq_occ=window.iq.occupancy, iq_cap=window.iq.capacity,
+            lsq_occ=window.lsq.occupancy, lsq_cap=window.lsq.capacity,
+            mshr_l1d=hierarchy.l1d_mshr.in_flight(edge),
+            mshr_l2=hierarchy.l2_mshr.in_flight(edge),
+            committed=committed - self._committed,
+            issued=issued - self._issued,
+            dispatched=dispatched - self._dispatched,
+            l2_misses=l2_misses - self._l2_misses,
+            stop_alloc=stop_alloc - self._stop_alloc,
+            stalls=delta_stalls))
+        self._prev_edge = edge
+        self._committed = committed
+        self._issued = issued
+        self._dispatched = dispatched
+        self._stop_alloc = stop_alloc
+        self._l2_misses = l2_misses
+        self._stalls = dict(stalls_now)
+
+    def finish(self) -> Telemetry:
+        """Flush the partial final interval and return the recording.
+
+        Idempotent per attach; the probe stays attached (a subsequent
+        ``run`` would keep sampling) — call :meth:`detach` to remove it.
+        """
+        proc = self.proc
+        if proc is None:
+            raise RuntimeError("probe was never attached")
+        stats = proc.stats
+        # the main loop's trace-drain exit skips the final advance(), so
+        # the last step's activity can sit past the last crossed edge
+        # with the clock unmoved — flush whenever anything changed, even
+        # into a zero-cycle tail sample, to keep delta sums exact
+        moved = (proc.cycle > self._prev_edge
+                 or stats.committed_uops != self._committed
+                 or stats.issued_uops != self._issued
+                 or stats.dispatched_uops != self._dispatched
+                 or stats.stop_alloc_cycles != self._stop_alloc
+                 or proc.hierarchy.demand_l2_misses != self._l2_misses
+                 or stats.stall_slots != self._stalls)
+        if moved:
+            self._record_sample(proc.cycle)
+            # re-align the next edge past the flushed partial interval
+            self._next_edge = proc.cycle + self.period
+        self.telemetry.meta["end_cycle"] = proc.cycle
+        if self.profiler is not None:
+            self.profiler.finish()
+        return self.telemetry

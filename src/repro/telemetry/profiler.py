@@ -1,0 +1,78 @@
+"""Wall-clock profiling hooks for the simulator itself.
+
+Measures *host* self-time per pipeline stage — where the Python
+simulator spends its seconds, not where the simulated core spends its
+cycles.  Installed by the same bound-method shadowing as the telemetry
+probe, so an unprofiled run carries zero overhead; a profiled run pays
+two ``perf_counter`` calls per stage invocation but simulates the exact
+same cycles (host timing never feeds back into the model).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class StageProfiler:
+    """Per-stage host wall-clock accounting for one processor run."""
+
+    #: (report name, Processor method) in pipeline order.  ``policy`` is
+    #: absent from inert (static/pinned) runs — its row simply stays 0.
+    STAGES = (
+        ("events", "_process_events"),
+        ("commit", "_commit_stage"),
+        ("issue", "_issue_stage"),
+        ("policy", "_policy_stage"),
+        ("dispatch", "_dispatch_stage"),
+        ("fetch", "_fetch_stage"),
+    )
+
+    def __init__(self) -> None:
+        self.seconds = {name: 0.0 for name, _ in self.STAGES}
+        self.calls = {name: 0 for name, _ in self.STAGES}
+        self.wall_seconds = 0.0
+        self._started = None
+
+    def attach(self, proc) -> "StageProfiler":
+        """Wrap every stage method of ``proc`` with a timer."""
+        seconds = self.seconds
+        calls = self.calls
+        for name, attr in self.STAGES:
+            orig = getattr(proc, attr)
+
+            def timed(*args, _orig=orig, _name=name, **kwargs):
+                t0 = perf_counter()
+                try:
+                    return _orig(*args, **kwargs)
+                finally:
+                    seconds[_name] += perf_counter() - t0
+                    calls[_name] += 1
+
+            setattr(proc, attr, timed)
+        self._started = perf_counter()
+        return self
+
+    def finish(self) -> None:
+        if self._started is not None:
+            self.wall_seconds = perf_counter() - self._started
+            self._started = None
+
+    # ------------------------------------------------------------------
+
+    def stage_seconds(self) -> dict[str, float]:
+        return dict(self.seconds)
+
+    def render(self) -> str:
+        """Plain-text per-stage self-time table."""
+        total = sum(self.seconds.values())
+        lines = ["simulator self-time by stage (host wall clock):"]
+        for name, _ in self.STAGES:
+            secs = self.seconds[name]
+            share = secs / total if total else 0.0
+            lines.append(f"  {name:<10} {secs:>8.3f}s  {share:>5.1%}"
+                         f"  ({self.calls[name]} calls)")
+        other = max(0.0, self.wall_seconds - total)
+        lines.append(f"  {'(other)':<10} {other:>8.3f}s"
+                     f"   — main loop, events bookkeeping")
+        lines.append(f"  {'wall':<10} {self.wall_seconds:>8.3f}s")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo references in the documentation.
+
+Checks two kinds of references in ``README.md``, ``DESIGN.md``,
+``EXPERIMENTS.md``, ``CHANGES.md`` and ``docs/*.md``:
+
+* markdown links ``[text](target)`` whose target is a relative path
+  (external URLs and pure ``#anchor`` links are skipped) — the target,
+  resolved against the linking file's directory, must exist;
+* inline-code path mentions like ``docs/observability.md`` or
+  ``src/repro/telemetry/`` — any backtick span that looks like a repo
+  path (contains a ``/``, starts with a known top-level directory or
+  ends in a known extension) must resolve against the repo root, the
+  linking file's directory, or ``src/repro`` (module-relative mentions
+  such as ``pipeline/resources.py``).  Spans containing glob characters
+  must match at least one file.
+
+Exit status 0 when every reference resolves, 1 otherwise (one line per
+broken reference).  Run from anywhere: paths are anchored at the repo
+root (this script's grandparent directory).
+
+Usage::
+
+    python tools/check_doc_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import glob as globlib
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md",
+                 "docs/*.md")
+
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`([^`\n]+)`")
+#: top-level directories whose mention in backticks is checked even
+#: without a recognised extension (e.g. ``src/repro/telemetry/``)
+_KNOWN_ROOTS = ("src/", "docs/", "tests/", "tools/", "examples/",
+                "benchmarks/", "results/", ".github/")
+_KNOWN_EXTS = (".py", ".md", ".json", ".yml", ".yaml", ".csv", ".txt",
+               ".toml", ".cfg", ".ini")
+#: extra anchors for module-relative mentions like ``pipeline/core.py``
+#: or ``repro/workloads/kernels.py``
+_EXTRA_BASES = ("src", "src/repro")
+
+
+def _looks_like_repo_path(span: str) -> bool:
+    if "/" not in span or " " in span or span.startswith(("http", "$", "-")):
+        return False
+    if any(ch in span for ch in "{}<>|=,"):
+        return False
+    # option values, fractions, dates: 0.25/0.5, 1/12/87
+    if re.fullmatch(r"[\d./x]+", span):
+        return False
+    trimmed = span.rstrip("/")
+    return (span.startswith(_KNOWN_ROOTS)
+            or trimmed.endswith(_KNOWN_EXTS))
+
+
+def _resolves(target: str, base_dir: str) -> bool:
+    # pytest selectors: tests/foo.py::TestBar checks only the file part
+    target = target.split("::", 1)[0]
+    candidates = [os.path.join(base_dir, target),
+                  os.path.join(REPO_ROOT, target)]
+    candidates += [os.path.join(REPO_ROOT, extra, target)
+                   for extra in _EXTRA_BASES]
+    if any(ch in target for ch in "*?["):
+        return any(globlib.glob(c) for c in candidates)
+    return any(os.path.exists(c) for c in candidates)
+
+
+def _strip_fenced_blocks(text: str) -> str:
+    """Remove ``` fenced blocks: shell transcripts mention paths that
+    need not exist (cache dirs, temp output)."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_file(path: str) -> list[str]:
+    base_dir = os.path.dirname(os.path.abspath(path))
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, "r", encoding="utf-8") as fh:
+        text = _strip_fenced_blocks(fh.read())
+    problems = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _MD_LINK.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            if not _resolves(target, base_dir):
+                problems.append(f"{rel}:{lineno}: broken link "
+                                f"-> {match.group(1)}")
+        for match in _CODE_SPAN.finditer(line):
+            span = match.group(1).strip()
+            if not _looks_like_repo_path(span):
+                continue
+            if not _resolves(span, base_dir):
+                problems.append(f"{rel}:{lineno}: missing path "
+                                f"reference `{span}`")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    patterns = argv or DEFAULT_FILES
+    files = []
+    for pattern in patterns:
+        anchored = os.path.join(REPO_ROOT, pattern)
+        matches = sorted(globlib.glob(anchored))
+        if not matches and not globlib.has_magic(pattern):
+            print(f"checked file does not exist: {pattern}",
+                  file=sys.stderr)
+            return 1
+        files.extend(matches)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"doc-link check: {len(files)} files, "
+          f"{len(problems)} broken references")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
