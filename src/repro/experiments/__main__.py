@@ -6,6 +6,8 @@ Usage::
                                 [--only fig07,fig12] [--seed N]
                                 [--jobs N] [--cache-dir DIR]
                                 [--no-cache] [--clear-cache]
+    python -m repro.experiments cache [--stats] [--prune]
+                                [--max-bytes N[K|M|G]] [--max-age SECONDS]
 
 The campaign is planned first (a dry pass collects every simulation the
 selected experiments will request), the de-duplicated jobs are fanned
@@ -32,7 +34,78 @@ from repro.experiments.parallel import execute_campaign, plan_campaign
 from repro.experiments.runner import Settings, Sweep
 
 
+def _parse_size(text: str) -> int:
+    """``500K`` / ``64M`` / ``2G`` / plain bytes — case-insensitive."""
+    multipliers = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+    text = text.strip()
+    factor = multipliers.get(text[-1:].upper(), 1)
+    digits = text[:-1] if factor != 1 else text
+    try:
+        value = int(digits)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (expected bytes or N[K|M|G])") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return value * factor
+
+
+def cache_main(argv=None) -> int:
+    """``python -m repro.experiments cache`` — inspect / prune the store.
+
+    A long-lived serving process (``repro.service``) grows ``.simcache``
+    without bound; this is the operator's pressure valve.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description=cache_main.__doc__)
+    parser.add_argument("--stats", action="store_true",
+                        help="print entry/byte/artifact counts (default "
+                             "when no action is given)")
+    parser.add_argument("--prune", action="store_true",
+                        help="evict entries, LRU by mtime; telemetry "
+                             "artifacts go with their entries")
+    parser.add_argument("--max-bytes", type=_parse_size, default=None,
+                        metavar="N[K|M|G]",
+                        help="with --prune: evict oldest entries until "
+                             "the store fits this budget")
+    parser.add_argument("--max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --prune: evict entries untouched for "
+                             "longer than this")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="store location (default: $REPRO_CACHE_DIR "
+                             "or .simcache)")
+    args = parser.parse_args(argv)
+    if args.prune and args.max_bytes is None and args.max_age is None:
+        print("cache --prune needs --max-bytes and/or --max-age "
+              "(otherwise nothing would be evicted)", file=sys.stderr)
+        return 2
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.prune:
+        report = store.prune(max_bytes=args.max_bytes, max_age=args.max_age)
+        print(f"cache {store.directory}: {report.summary()}")
+        return 0
+    from repro.experiments.cache import telemetry_dir
+    artifacts = 0
+    artifact_bytes = 0
+    tdir = telemetry_dir(store)
+    if tdir and os.path.isdir(tdir):
+        for name in os.listdir(tdir):
+            if name.endswith(".jsonl"):
+                artifacts += 1
+                artifact_bytes += os.path.getsize(os.path.join(tdir, name))
+    print(f"cache {store.directory}: {store.disk_entries()} entries, "
+          f"{store.disk_bytes() / 1024:.1f} KiB; "
+          f"{artifacts} telemetry artifacts, "
+          f"{artifact_bytes / 1024:.1f} KiB")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["cache"]:
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--selected", action="store_true",
                         help="only the paper's selected programs")
@@ -129,7 +202,8 @@ def main(argv=None) -> int:
                f"cache {sweep.cache_hits} hit / {sweep.sim_runs} simulated "
                f"this pass",
                f"store: {store.memory_hits} mem / {store.disk_hits} disk "
-               f"hits, {store.misses} misses"]
+               f"hits, {store.misses} misses, "
+               f"{store.disk_entries()} entries on disk"]
     if report.executed:
         summary.append(
             f"fan-out: {report.executed} jobs on {report.workers} worker"

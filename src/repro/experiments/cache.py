@@ -32,6 +32,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
@@ -241,15 +242,128 @@ class ResultStore:
 
     def disk_entries(self) -> int:
         """Number of entries currently on disk."""
-        count = 0
+        return sum(1 for __ in self.iter_disk())
+
+    def iter_disk(self):
+        """Yield ``(key, path, mtime, size_bytes)`` for every on-disk
+        entry.  Entries that vanish mid-scan (a concurrent prune or
+        clear) are skipped, not errors."""
         if self.directory is None or not os.path.isdir(self.directory):
-            return count
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir) or shard == "telemetry":
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(_SUFFIX):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                yield (name[:-len(_SUFFIX)], path, stat.st_mtime,
+                       stat.st_size)
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk result entries (telemetry artifacts
+        not included — see :func:`telemetry_dir`)."""
+        return sum(size for *__, size in self.iter_disk())
+
+    def _artifact_path(self, key: str) -> str | None:
+        directory = telemetry_dir(self)
+        if directory is None:
+            return None
+        return telemetry_artifact_path(directory, key)
+
+    def _drop_entry(self, key: str, path: str) -> int:
+        """Remove one entry (and its telemetry artifact); returns the
+        number of artifact files removed alongside."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self._mem.pop(key, None)
+        self.sanitized_keys.discard(key)
+        artifact = self._artifact_path(key)
+        if artifact is not None and os.path.exists(artifact):
+            try:
+                os.unlink(artifact)
+                return 1
+            except OSError:
+                pass
+        return 0
+
+    def prune(self, max_bytes: int | None = None,
+              max_age: float | None = None,
+              now: float | None = None) -> "PruneReport":
+        """Evict on-disk entries, LRU by file mtime.
+
+        Two independent criteria, either or both may be given:
+
+        * ``max_age`` — entries untouched for more than this many
+          seconds are removed regardless of space;
+        * ``max_bytes`` — after the age pass, the oldest remaining
+          entries are evicted until the store fits in this budget.
+
+        A pruned entry's telemetry artifact (``telemetry/<key>.jsonl``)
+        goes with it — an artifact without its result is unreachable
+        through the campaign and serving paths.  Eviction is safe
+        against concurrent readers: a reader either sees the complete
+        entry (and may re-cache it in memory) or a miss, never a
+        partial file, because removal is a single ``unlink``.
+        """
+        report = PruneReport()
+        entries = sorted(self.iter_disk(), key=lambda e: e[2])  # by mtime
+        report.scanned = len(entries)
+        now = time.time() if now is None else now
+        keep: list[tuple[str, str, float, int]] = []
+        for key, path, mtime, size in entries:
+            if max_age is not None and now - mtime > max_age:
+                report.artifacts_removed += self._drop_entry(key, path)
+                report.removed += 1
+                report.removed_bytes += size
+            else:
+                keep.append((key, path, mtime, size))
+        if max_bytes is not None:
+            total = sum(size for *__, size in keep)
+            while keep and total > max_bytes:
+                key, path, __, size = keep.pop(0)  # oldest first
+                report.artifacts_removed += self._drop_entry(key, path)
+                report.removed += 1
+                report.removed_bytes += size
+                total -= size
+        report.kept = len(keep)
+        report.kept_bytes = sum(size for *__, size in keep)
+        self._remove_empty_shards()
+        return report
+
+    def _remove_empty_shards(self) -> None:
+        if self.directory is None or not os.path.isdir(self.directory):
+            return
         for shard in os.listdir(self.directory):
             shard_dir = os.path.join(self.directory, shard)
-            if os.path.isdir(shard_dir):
-                count += sum(1 for n in os.listdir(shard_dir)
-                             if n.endswith(_SUFFIX))
-        return count
+            if (os.path.isdir(shard_dir) and shard != "telemetry"
+                    and not os.listdir(shard_dir)):
+                os.rmdir(shard_dir)
+
+
+@dataclass
+class PruneReport:
+    """What :meth:`ResultStore.prune` did."""
+
+    scanned: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    artifacts_removed: int = 0
+
+    def summary(self) -> str:
+        return (f"pruned {self.removed} of {self.scanned} entries "
+                f"({self.removed_bytes / 1024:.1f} KiB, "
+                f"{self.artifacts_removed} telemetry artifacts); "
+                f"{self.kept} entries / {self.kept_bytes / 1024:.1f} KiB kept")
 
 
 # ----------------------------------------------------------------------

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import importlib
 import os
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.energy import EnergyModel
@@ -190,9 +193,61 @@ def execute_campaign(recorder: JobRecorder, store: ResultStore,
             key, result, busy = _run_job(spec)
             _book(spec, key, result, busy)
     else:
-        with ProcessPoolExecutor(max_workers=report.workers) as pool:
-            for spec, (key, result, busy) in zip(todo,
-                                                 pool.map(_run_job, todo)):
-                _book(spec, key, result, busy)
+        with deliver_sigterm_as_interrupt():
+            pool = ProcessPoolExecutor(max_workers=report.workers)
+            futures: dict = {}
+            booked: set = set()
+            try:
+                for spec in todo:
+                    futures[pool.submit(_run_job, spec)] = spec
+                for future in as_completed(futures):
+                    key, result, busy = future.result()
+                    _book(futures[future], key, result, busy)
+                    booked.add(future)
+            except BaseException:
+                # Ctrl-C, SIGTERM or a worker failure mid-campaign:
+                # drop the queued jobs, let the running ones finish,
+                # reap the worker processes, book every result that
+                # did complete (store writes are atomic, so each entry
+                # is whole), then propagate.  A re-run resumes from
+                # whatever the interrupted campaign cached.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, spec in futures.items():
+                    if future in booked or not future.done() \
+                            or future.cancelled():
+                        continue
+                    try:
+                        key, result, busy = future.result()
+                    except BaseException:
+                        continue
+                    _book(spec, key, result, busy)
+                raise
+            else:
+                pool.shutdown(wait=True)
     report.wall_seconds = time.perf_counter() - wall_start
     return report
+
+
+@contextmanager
+def deliver_sigterm_as_interrupt():
+    """Translate SIGTERM into KeyboardInterrupt for the enclosed block.
+
+    ``kill <campaign pid>`` then unwinds through the same
+    cancel-pending / wait-for-running / reap path as Ctrl-C instead of
+    dying mid-write with orphaned pool workers.  Outside the main
+    thread (where signal handlers cannot be installed) this is a no-op
+    — the embedding application owns signal handling there, as the
+    serving layer does with its asyncio handlers.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)

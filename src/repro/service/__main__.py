@@ -1,0 +1,88 @@
+"""Entry point: ``python -m repro.service serve|loadgen``.
+
+``serve`` runs the HTTP job server in the foreground until SIGINT or
+SIGTERM, then drains gracefully (running jobs finish, queued jobs are
+rejected, worker processes are reaped).  ``loadgen`` forwards to
+:mod:`repro.service.loadgen`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.cache import default_cache_dir
+
+
+def serve_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="run the simulation job server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="0 = pick a free port (printed on startup)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker processes")
+    parser.add_argument("--queue-limit", type=int, default=32,
+                        help="max outstanding executions (queued + "
+                             "running) before 429")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="per-job execution timeout (seconds)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries after a worker crash")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="result store location (default: "
+                             "$REPRO_CACHE_DIR or .simcache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="memory-only store: no persistence, no "
+                             "cross-restart dedup, telemetry disabled")
+    args = parser.parse_args(argv)
+
+    from repro.service.server import SimulationService
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or default_cache_dir())
+    service = SimulationService(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, job_timeout=args.timeout,
+        max_retries=args.retries, cache_dir=cache_dir)
+
+    import asyncio
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"repro.service: serving on "
+              f"http://{service.host}:{service.port} "
+              f"(workers={service.workers}, "
+              f"queue_limit={service.queue_limit}, "
+              f"cache={service.store.directory or 'memory-only'})",
+              flush=True)
+        try:
+            await service._stop_requested.wait()
+            print("repro.service: draining (running jobs finish, "
+                  "queued jobs are rejected) ...", flush=True)
+        finally:
+            await service.drain()
+            print("repro.service: drained, bye", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv or argv[0] not in ("serve", "loadgen"):
+        print("usage: python -m repro.service serve|loadgen [options]\n"
+              "       (--help after the subcommand for its options)",
+              file=sys.stderr)
+        return 2
+    if argv[0] == "serve":
+        return serve_main(argv[1:])
+    from repro.service.loadgen import main as loadgen_main
+    return loadgen_main(argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Thin stdlib client for the simulation service.
+
+Speaks the JSON protocol of :mod:`repro.service.server` over plain
+``http.client`` connections — one connection per request, no external
+dependencies.  Used by the test suite, the CI service job and the load
+generator; the documented examples in ``docs/serving.md`` are written
+against this module.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.service.jobs import TERMINAL_STATES
+from repro.service.metrics import parse_exposition
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error (or not at all)."""
+
+    def __init__(self, message: str, status: int = 0,
+                 body: object = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class QueueFull(ServiceError):
+    """Admission control rejected the batch (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float,
+                 body: object = None) -> None:
+        super().__init__(message, status=429, body=body)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Synchronous client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- transport
+
+    def _request(self, method: str, path: str, payload: object = None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"{method} {path} failed: {exc}") from exc
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, payload: object = None) -> dict:
+        status, headers, data = self._request(method, path, payload)
+        try:
+            body = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            body = {"raw": data.decode("utf-8", "replace")}
+        if status == 429:
+            raise QueueFull(f"queue full at {path}",
+                            retry_after=float(headers.get("Retry-After", 1)),
+                            body=body)
+        if status >= 400:
+            raise ServiceError(f"{method} {path} -> {status}: {body}",
+                               status=status, body=body)
+        return body
+
+    # ------------------------------------------------------------------- API
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def programs(self) -> list[str]:
+        return self._json("GET", "/v1/programs")["programs"]
+
+    def metrics_text(self) -> str:
+        status, __, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"GET /metrics -> {status}", status=status)
+        return data.decode("utf-8")
+
+    def metrics(self) -> dict[str, float]:
+        return parse_exposition(self.metrics_text())
+
+    def submit(self, jobs) -> list[dict]:
+        """Submit one job dict or a list; returns the job records.
+
+        Raises :class:`QueueFull` when admission control rejects the
+        batch — ``exc.retry_after`` is the server's backoff estimate.
+        """
+        if isinstance(jobs, dict):
+            jobs = [jobs]
+        return self._json("POST", "/v1/jobs", {"jobs": jobs})["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str):
+        """Yield the job's event stream (blocks until terminal state).
+
+        Reads the chunked ``/events`` endpoint; ``http.client``
+        de-chunks transparently, so each line is one JSON event.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                body = response.read().decode("utf-8", "replace")
+                raise ServiceError(f"events({job_id}) -> "
+                                   f"{response.status}: {body}",
+                                   status=response.status)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll)
+
+    def submit_and_wait(self, jobs, timeout: float = 120.0) -> list[dict]:
+        """Submit a batch and block until every job is terminal."""
+        records = self.submit(jobs)
+        return [self.wait(r["id"], timeout=timeout) for r in records]
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> dict:
+        """Block until ``/healthz`` answers (server warm-up)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

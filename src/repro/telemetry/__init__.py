@@ -33,7 +33,7 @@ per-stage host self-time via :class:`StageProfiler`).
 """
 
 from repro.telemetry.probe import TelemetryProbe
-from repro.telemetry.profiler import StageProfiler
+from repro.telemetry.profiler import LatencyReservoir, StageProfiler
 from repro.telemetry.recorder import (
     EVENT_KINDS,
     STALL_REASONS,
@@ -52,6 +52,7 @@ __all__ = [
     "EVENT_KINDS",
     "STALL_REASONS",
     "IntervalSample",
+    "LatencyReservoir",
     "PolicyEvent",
     "StageProfiler",
     "Telemetry",

@@ -10,12 +10,22 @@ both ways and compare the machine-readable series exactly.
 from __future__ import annotations
 
 import importlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
 
 import pytest
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments import parallel
 from repro.experiments.cache import JobRecorder, ResultStore, recording
-from repro.experiments.parallel import execute_campaign, plan_campaign
+from repro.experiments.parallel import (
+    deliver_sigterm_as_interrupt,
+    execute_campaign,
+    plan_campaign,
+)
 from repro.experiments.runner import Settings, Sweep
 
 #: one memory-intensive + one compute-intensive program keeps every
@@ -97,6 +107,103 @@ class TestParallelDeterminism:
         assert report.workers == 1
         series, __ = _campaign_series(store)
         assert series == serial_series
+
+
+#: module-level (hence picklable) fault injections: with the fork start
+#: method the monkeypatched ``parallel._run_job`` travels into the pool
+#: workers, so a campaign can be failed or interrupted deterministically
+_REAL_RUN_JOB = parallel._run_job
+
+
+def _fail_on_leslie3d(spec):
+    if spec.program == "leslie3d":
+        raise RuntimeError("injected worker failure")
+    return _REAL_RUN_JOB(spec)
+
+
+def _interrupt_on_leslie3d(spec):
+    if spec.program == "leslie3d":
+        raise KeyboardInterrupt
+    return _REAL_RUN_JOB(spec)
+
+
+class TestInterruptedCampaign:
+    """A killed or failing campaign must reap its workers and keep the
+    results that did complete (the store writes are atomic, so every
+    booked entry is whole and a re-run resumes from it)."""
+
+    def _interrupted_run(self, tmp_path, monkeypatch, injected, raises):
+        monkeypatch.setattr(parallel, "_run_job", injected)
+        store = ResultStore(str(tmp_path))
+        recorder = plan_campaign(EXP_IDS, SETTINGS)
+        with pytest.raises(raises):
+            execute_campaign(recorder, store, jobs=2)
+        # pool.shutdown(wait=True) ran on the unwind: no orphans
+        assert multiprocessing.active_children() == []
+        return recorder, store
+
+    def test_failure_books_completed_and_resumes(self, tmp_path,
+                                                 monkeypatch):
+        recorder, store = self._interrupted_run(
+            tmp_path, monkeypatch, _fail_on_leslie3d, RuntimeError)
+        survivors = [key for key, *__ in store.iter_disk()]
+        assert len(survivors) < len(recorder.jobs)
+
+        # every survivor is a complete, loadable entry ...
+        check = ResultStore(str(tmp_path))
+        for key in survivors:
+            assert check.get(key) is not None
+        # ... and a healthy re-run picks up exactly where it stopped
+        monkeypatch.setattr(parallel, "_run_job", _REAL_RUN_JOB)
+        resumed = execute_campaign(plan_campaign(EXP_IDS, SETTINGS),
+                                   ResultStore(str(tmp_path)), jobs=2)
+        assert resumed.already_cached == len(survivors)
+        assert resumed.executed == resumed.planned - len(survivors)
+
+    def test_interrupt_unwinds_the_same_way(self, tmp_path, monkeypatch):
+        recorder, store = self._interrupted_run(
+            tmp_path, monkeypatch, _interrupt_on_leslie3d,
+            KeyboardInterrupt)
+        for key, *__ in store.iter_disk():
+            assert ResultStore(str(tmp_path)).get(key) is not None
+
+
+class TestSigtermTranslation:
+    def test_sigterm_raises_keyboardinterrupt(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with deliver_sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)  # interrupted by the handler immediately
+                pytest.fail("SIGTERM was not delivered")
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_handler_restored_on_clean_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with deliver_sigterm_as_interrupt():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_noop_outside_main_thread(self):
+        """Embedders (the serving layer) own signal handling on their
+        own threads — the context must not try to install handlers
+        there (``signal.signal`` would raise)."""
+        before = signal.getsignal(signal.SIGTERM)
+        outcome = {}
+
+        def body():
+            try:
+                with deliver_sigterm_as_interrupt():
+                    outcome["entered"] = True
+            except Exception as exc:  # pragma: no cover
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert outcome.get("entered") is True
+        assert "error" not in outcome
+        assert signal.getsignal(signal.SIGTERM) is before
 
 
 class TestExecutionReport:

@@ -10,6 +10,9 @@ originals.
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import os
+import pickle
 
 
 import pytest
@@ -143,6 +146,224 @@ class TestResultStore:
         assert store.disk_entries() == 2
         assert store.clear_disk() == 2
         assert store.disk_entries() == 0
+
+
+def _racing_writer(directory, key, seed, barrier):
+    """Child-process body: everyone writes the same key at once."""
+    store = ResultStore(directory)
+    result = _small_result(seed=seed, measure=1_500)
+    barrier.wait(timeout=30)
+    for __ in range(5):
+        store.put(key, result)
+    os._exit(0)
+
+
+class TestConcurrentAccess:
+    def test_racing_writers_leave_a_whole_entry(self, tmp_path):
+        """N processes hammering one key: last atomic replace wins, the
+        file is never a torn mix of two writers."""
+        key = _key()
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        procs = [ctx.Process(target=_racing_writer,
+                             args=(str(tmp_path), key, seed, barrier))
+                 for seed in (1, 2, 3, 4)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        loaded = ResultStore(str(tmp_path)).get(key)
+        assert loaded is not None
+        # the survivor is bit-identical to one of the contenders
+        candidates = {seed: _small_result(seed=seed, measure=1_500)
+                      for seed in (1, 2, 3, 4)}
+        assert any(loaded.cycles == c.cycles and loaded.ipc == c.ipc
+                   for c in candidates.values())
+        # and no stray temp files survived the stampede
+        leftovers = [name for __, d, names in os.walk(tmp_path)
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_reader_sees_half_written_entry_as_miss(self, tmp_path):
+        """A reader racing a (non-atomic, simulated) partial write gets
+        a miss, not garbage — and the next put repairs the entry."""
+        store = ResultStore(str(tmp_path))
+        key = _key()
+        result = _small_result()
+        store.put(key, result)
+        path = store._path(key)
+        whole = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(whole[: len(whole) // 2])
+
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+        fresh.put(key, result)
+        repaired = ResultStore(str(tmp_path)).get(key)
+        assert repaired is not None
+        assert repaired.cycles == result.cycles
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path, monkeypatch):
+        """A writer dying mid-``put`` must not litter the shard with
+        temp files (they would accumulate forever in a long-lived
+        serving process)."""
+        store = ResultStore(str(tmp_path))
+        key = _key()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full (injected)")
+
+        monkeypatch.setattr(pickle, "dump", explode)
+        with pytest.raises(OSError, match="injected"):
+            store.put(key, _small_result())
+        monkeypatch.undo()
+        shard = os.path.dirname(store._path(key))
+        assert [n for n in os.listdir(shard)
+                if n.endswith(".tmp")] == []
+        assert not os.path.exists(store._path(key))
+
+
+class TestPrune:
+    def _stocked(self, tmp_path, ages):
+        """A store with one entry per requested age (seconds ago)."""
+        store = ResultStore(str(tmp_path))
+        result = _small_result()
+        now = 1_700_000_000.0
+        keys = []
+        for index, age in enumerate(ages):
+            key = _key(seed=100 + index)
+            store.put(key, result)
+            os.utime(store._path(key), (now - age, now - age))
+            keys.append(key)
+        return store, keys, now
+
+    def test_prune_by_age(self, tmp_path):
+        store, keys, now = self._stocked(tmp_path, [10, 1_000, 100_000])
+        report = store.prune(max_age=3_600, now=now)
+        assert report.scanned == 3
+        assert report.removed == 1
+        assert report.kept == 2
+        survivors = {key for key, *__ in store.iter_disk()}
+        assert survivors == set(keys[:2])
+        assert report.kept_bytes == store.disk_bytes()
+
+    def test_prune_by_bytes_evicts_lru(self, tmp_path):
+        store, keys, now = self._stocked(tmp_path, [10, 20, 30, 40])
+        entry_bytes = store.disk_bytes() // 4
+        report = store.prune(max_bytes=2 * entry_bytes, now=now)
+        assert report.removed == 2
+        # the two *oldest* (largest age) went first
+        survivors = {key for key, *__ in store.iter_disk()}
+        assert survivors == set(keys[:2])
+        assert store.disk_bytes() <= 2 * entry_bytes
+
+    def test_pruned_entry_is_a_miss_even_in_memory(self, tmp_path):
+        store, keys, now = self._stocked(tmp_path, [10])
+        assert store.get(keys[0]) is not None  # now cached in _mem
+        store.prune(max_age=1, now=now)
+        assert store.get(keys[0]) is None
+
+    def test_prune_takes_telemetry_artifacts_along(self, tmp_path):
+        from repro.experiments.cache import (
+            telemetry_artifact_path,
+            telemetry_dir,
+        )
+        store, keys, now = self._stocked(tmp_path, [10, 100_000])
+        tdir = telemetry_dir(store)
+        os.makedirs(tdir, exist_ok=True)
+        artifacts = [telemetry_artifact_path(tdir, key) for key in keys]
+        for path in artifacts:
+            with open(path, "w") as fh:
+                fh.write('{"cycle": 0}\n')
+        report = store.prune(max_age=3_600, now=now)
+        assert report.removed == 1
+        assert report.artifacts_removed == 1
+        assert not os.path.exists(artifacts[1])  # evicted entry's artifact
+        assert os.path.exists(artifacts[0])      # survivor's stays
+
+    def test_prune_everything_removes_empty_shards(self, tmp_path):
+        store, keys, now = self._stocked(tmp_path, [10, 20, 30])
+        report = store.prune(max_age=1, now=now)
+        assert report.removed == 3 and report.kept == 0
+        assert store.disk_entries() == 0
+        leftovers = [name for name in os.listdir(tmp_path)
+                     if name != "telemetry"]
+        assert leftovers == []
+
+    def test_prune_report_summary(self, tmp_path):
+        store, __, now = self._stocked(tmp_path, [10, 100_000])
+        text = store.prune(max_age=3_600, now=now).summary()
+        assert "pruned 1 of 2 entries" in text
+        assert "1 entries" in text and "kept" in text
+
+    def test_memory_only_store_prunes_nothing(self):
+        report = ResultStore(None).prune(max_age=0)
+        assert report.scanned == report.removed == 0
+
+
+class TestCacheCli:
+    def _stock(self, tmp_path, n=3):
+        store = ResultStore(str(tmp_path))
+        for index in range(n):
+            store.put(_key(seed=200 + index), _small_result())
+        return store
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        from repro.experiments.__main__ import cache_main
+        self._stock(tmp_path)
+        assert cache_main(["--stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "KiB" in out and "telemetry artifacts" in out
+
+    def test_prune_requires_a_criterion(self, tmp_path, capsys):
+        from repro.experiments.__main__ import cache_main
+        assert cache_main(["--prune", "--cache-dir", str(tmp_path)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_by_max_bytes(self, tmp_path, capsys):
+        from repro.experiments.__main__ import cache_main
+        self._stock(tmp_path)
+        code = cache_main(["--prune", "--max-bytes", "0",
+                           "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "pruned 3 of 3 entries" in capsys.readouterr().out
+        assert ResultStore(str(tmp_path)).disk_entries() == 0
+
+    def test_cache_subcommand_dispatch(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        self._stock(tmp_path, n=1)
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_parse_size_suffixes(self):
+        import argparse
+
+        from repro.experiments.__main__ import _parse_size
+        assert _parse_size("500") == 500
+        assert _parse_size("500K") == 500 * 1024
+        assert _parse_size("64m") == 64 * 1024 ** 2
+        assert _parse_size("2G") == 2 * 1024 ** 3
+        for bad in ("", "12Q", "-1", "K"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _parse_size(bad)
+
+
+class TestCampaignSummary:
+    def test_summary_reports_disk_entries(self, tmp_path, capsys):
+        """The end-of-run summary tells the operator how big the store
+        has grown (hit/miss counters alone say nothing about disk)."""
+        from repro.experiments.__main__ import main
+        code = main(["--selected", "--only", "fig02", "--measure", "800",
+                     "--warmup", "200", "--jobs", "1",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        entries = ResultStore(str(tmp_path)).disk_entries()
+        assert entries > 0
+        assert f"{entries} entries on disk" in out
 
 
 class TestSweepStoreIntegration:
