@@ -4,22 +4,34 @@ These track the *host* cost of simulation — committed micro-ops per
 host-second — so performance regressions in the cycle loop show up in
 benchmark history.  One compute-bound and one memory-bound workload,
 since they stress different parts of the loop (issue bandwidth vs the
-event heap and fast-forward).
+event heap and fast-forward), each timed on both execution engines
+(:mod:`repro.pipeline.engine`).  ``tools/bench_report.py`` reuses
+:data:`WORKLOADS` / :func:`run_once` to produce the per-engine
+``BENCH_6.json`` CI artifact.
 """
 
 import pytest
 
 from repro.config import base_config, dynamic_config
-from repro.pipeline import Processor
+from repro.pipeline import Processor, get_engine
 from repro.workloads import generate_trace, profile
 
 MEASURE = 6_000
 
+#: The bench matrix, shared with tools/bench_report.py:
+#: name -> (program, config factory, bound-kind tag).
+WORKLOADS = {
+    "compute_bound": ("gcc", base_config, "compute"),
+    "memory_bound": ("leslie3d", base_config, "memory"),
+    "memory_bound_mlp": ("milc", base_config, "memory"),
+    "dynamic_model": ("leslie3d", lambda: dynamic_config(3), "memory"),
+}
 
-def run_once(config, trace):
+
+def run_once(config, trace, engine="reference"):
     proc = Processor(config, trace)
     proc.prewarm()
-    proc.run(until_committed=MEASURE)
+    get_engine(engine).run(proc, until_committed=MEASURE)
     return proc
 
 
@@ -33,26 +45,45 @@ def leslie_trace():
     return generate_trace(profile("leslie3d"), n_ops=MEASURE + 1000, seed=1)
 
 
-def test_speed_compute_bound(benchmark, gcc_trace):
-    proc = benchmark.pedantic(run_once, args=(base_config(), gcc_trace),
-                              rounds=3, iterations=1)
-    assert proc.committed_total >= MEASURE
-    benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
-
-
-def test_speed_memory_bound(benchmark, leslie_trace):
-    proc = benchmark.pedantic(run_once, args=(base_config(), leslie_trace),
-                              rounds=3, iterations=1)
-    assert proc.committed_total >= MEASURE
-    benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
-
-
-def test_speed_dynamic_model(benchmark, leslie_trace):
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_speed_compute_bound(benchmark, gcc_trace, engine):
     proc = benchmark.pedantic(run_once,
-                              args=(dynamic_config(3), leslie_trace),
+                              args=(base_config(), gcc_trace, engine),
                               rounds=3, iterations=1)
     assert proc.committed_total >= MEASURE
     benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_speed_memory_bound(benchmark, leslie_trace, engine):
+    proc = benchmark.pedantic(run_once,
+                              args=(base_config(), leslie_trace, engine),
+                              rounds=3, iterations=1)
+    assert proc.committed_total >= MEASURE
+    benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_speed_memory_bound_mlp(benchmark, engine):
+    trace = generate_trace(profile("milc"), n_ops=MEASURE + 1000, seed=1)
+    proc = benchmark.pedantic(run_once,
+                              args=(base_config(), trace, engine),
+                              rounds=3, iterations=1)
+    assert proc.committed_total >= MEASURE
+    benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
+    benchmark.extra_info["engine"] = engine
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_speed_dynamic_model(benchmark, leslie_trace, engine):
+    proc = benchmark.pedantic(run_once,
+                              args=(dynamic_config(3), leslie_trace, engine),
+                              rounds=3, iterations=1)
+    assert proc.committed_total >= MEASURE
+    benchmark.extra_info["simulated_cycles"] = proc.stats.cycles
+    benchmark.extra_info["engine"] = engine
 
 
 def test_speed_trace_generation(benchmark):

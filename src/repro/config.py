@@ -227,6 +227,11 @@ class ProcessorConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
     runahead: RunaheadConfig = field(default_factory=RunaheadConfig)
+    #: Main-loop backend (:mod:`repro.pipeline.engine`): ``"reference"``
+    #: or ``"fast"``.  A pure host-speed knob — engines are behaviourally
+    #: identical — so it is excluded from :func:`config_fingerprint` and
+    #: never changes a result key.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if not 1 <= self.level <= len(self.levels):
@@ -234,6 +239,10 @@ class ProcessorConfig:
                 f"level {self.level} outside 1..{len(self.levels)}")
         if self.width < 1:
             raise ValueError("pipeline width must be >= 1")
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (want 'reference' or "
+                f"'fast')")
 
     @property
     def max_level(self) -> int:
@@ -262,7 +271,7 @@ def _encode_enum(obj: object) -> object:
 
 @lru_cache(maxsize=None)
 def config_fingerprint(config: ProcessorConfig) -> str:
-    """Stable content hash over *every* field of a processor config.
+    """Stable content hash over every *model* field of a processor config.
 
     Canonical form: the nested-dataclass dict, JSON-encoded with sorted
     keys (enums by value, tuples as lists).  Two configs share a
@@ -271,9 +280,16 @@ def config_fingerprint(config: ProcessorConfig) -> str:
     unlike hand-picked field subsets, it cannot silently alias configs
     that differ in DRAM latency, prefetcher kind, or any future field.
 
+    The one exclusion is ``engine``: execution engines are behaviourally
+    identical by contract (the engine-equivalence oracle), so results
+    computed by either must share cache entries — a warm cache populated
+    with one engine fully serves the other.
+
     Configs are frozen (hashable), so fingerprints are memoised.
     """
-    payload = json.dumps(asdict(config), sort_keys=True,
+    fields = asdict(config)
+    del fields["engine"]
+    payload = json.dumps(fields, sort_keys=True,
                          default=_encode_enum, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

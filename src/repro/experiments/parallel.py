@@ -90,7 +90,7 @@ def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
                       measure=spec.measure, policy=spec.policy,
                       sanitize=spec.sanitize,
                       fast_forward=spec.fast_forward,
-                      telemetry=probe)
+                      telemetry=probe, engine=spec.engine)
     EnergyModel().annotate(result, spec.config)
     if probe is not None:
         probe.telemetry.to_jsonl(

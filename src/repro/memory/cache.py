@@ -47,6 +47,16 @@ class Cache:
         self.line_bytes = config.line_bytes
         self.assoc = config.assoc
         self._set_mask = self.num_sets - 1
+        # Power-of-two line sizes (every shipped geometry) take a
+        # mask/shift fast path; ``&``/``>>`` floor exactly like
+        # ``%``/``//`` on Python ints, so the two paths are
+        # bit-identical for any address.
+        if self.line_bytes & (self.line_bytes - 1) == 0:
+            self._line_mask: int | None = ~(self.line_bytes - 1)
+            self._line_shift = self.line_bytes.bit_length() - 1
+        else:
+            self._line_mask = None
+            self._line_shift = 0
         self._sets: list[OrderedDict[int, CacheLine]] = [
             OrderedDict() for _ in range(self.num_sets)]
         self._evict_hook = evict_hook
@@ -56,6 +66,8 @@ class Cache:
 
     def line_addr(self, addr: int) -> int:
         """Line-aligned address containing ``addr``."""
+        if self._line_mask is not None:
+            return addr & self._line_mask
         return addr - (addr % self.line_bytes)
 
     def _set_index(self, line_addr: int) -> int:
@@ -68,9 +80,13 @@ class Cache:
         'hit' on a still-filling line is accounted as part of the original
         miss.
         """
-        line_bytes = self.line_bytes
-        laddr = addr - (addr % line_bytes)
-        cset = self._sets[(laddr // line_bytes) & self._set_mask]
+        if self._line_mask is not None:
+            laddr = addr & self._line_mask
+            cset = self._sets[(laddr >> self._line_shift) & self._set_mask]
+        else:
+            line_bytes = self.line_bytes
+            laddr = addr - (addr % line_bytes)
+            cset = self._sets[(laddr // line_bytes) & self._set_mask]
         line = cset.get(laddr)
         if line is not None and update_lru:
             cset.move_to_end(laddr)
@@ -83,9 +99,13 @@ class Cache:
         LRU position is refreshed and the resident record returned
         unchanged (a fill never downgrades an existing line).
         """
-        line_bytes = self.line_bytes
-        laddr = addr - (addr % line_bytes)
-        cset = self._sets[(laddr // line_bytes) & self._set_mask]
+        if self._line_mask is not None:
+            laddr = addr & self._line_mask
+            cset = self._sets[(laddr >> self._line_shift) & self._set_mask]
+        else:
+            line_bytes = self.line_bytes
+            laddr = addr - (addr % line_bytes)
+            cset = self._sets[(laddr // line_bytes) & self._set_mask]
         existing = cset.get(laddr)
         if existing is not None:
             cset.move_to_end(laddr)

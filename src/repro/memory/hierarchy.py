@@ -186,30 +186,32 @@ class MemoryHierarchy:
         if cycle > self._now_hint:
             self._now_hint = cycle
         l1_lat = self._l1d_lat
-        line = self.l1d.lookup(addr)
+        l1d = self.l1d
+        line = l1d.lookup(addr)
         if line is not None:
             if is_write:
                 line.dirty = True
             self._touch_l2(addr, path)
             if line.ready_at <= cycle:
-                self.l1d.hits += 1
+                l1d.hits += 1
                 return AccessResult(cycle + l1_lat, True, False, False)
             # Line still being filled: merge into the outstanding miss.
-            self.l1d.misses += 1
+            l1d.misses += 1
             return AccessResult(max(line.ready_at, cycle + l1_lat),
                                 False, False, False)
-        self.l1d.misses += 1
-        line_addr = self.l1d.line_addr(addr)
-        pending = self.l1d_mshr.lookup(line_addr)
+        l1d.misses += 1
+        mshr = self.l1d_mshr
+        line_addr = l1d.line_addr(addr)
+        pending = mshr.lookup(line_addr)
         if pending is not None and pending > cycle:
-            done = self.l1d_mshr.merge(line_addr)
+            done = mshr.merge(line_addr)
             self._touch_l2(addr, path)
             return AccessResult(max(done, cycle + l1_lat), False, False, False)
-        wait = self.l1d_mshr.allocate_delay(cycle)
+        wait = mshr.allocate_delay(cycle)
         l2_start = cycle + wait + l1_lat
         l2_done, l2_hit, l2_line_addr = self._l2_access(addr, l2_start, path)
-        self.l1d_mshr.allocate(line_addr, l2_done, cycle=cycle + wait)
-        filled = self.l1d.install(addr, l2_done)
+        mshr.allocate(line_addr, l2_done, cycle=cycle + wait)
+        filled = l1d.install(addr, l2_done)
         filled.dirty = is_write
         return AccessResult(l2_done, False, l2_hit, not l2_hit)
 

@@ -31,6 +31,9 @@ are queries; only :meth:`allocate_delay` — an actual claim — records
 
 from __future__ import annotations
 
+#: Sentinel "no pending release" bound; larger than any simulated cycle.
+_FAR_FUTURE = 1 << 62
+
 
 class MSHRFile:
     """Bookkeeping for in-flight misses of one cache."""
@@ -47,6 +50,11 @@ class MSHRFile:
         #: Kept aside so the hot lookup/merge/reap paths stay a plain
         #: int-valued dict.
         self._claims: dict[int, int] = {}
+        #: lower bound on the earliest completion in ``_pending`` — lets
+        #: :meth:`_reap` skip the scan while nothing can have expired.
+        #: A dict overwrite can leave it stale-low, which only costs an
+        #: extra scan, never a missed reap.
+        self._next_release = _FAR_FUTURE
         self.merges = 0
         self.allocations = 0
         self.full_stalls = 0
@@ -161,9 +169,11 @@ class MSHRFile:
                 self._claims.pop(line_addr, None)
         self.allocations += 1
         self._pending[line_addr] = completion
+        if completion < self._next_release:
+            self._next_release = completion
 
     def _reap(self, cycle: int) -> None:
-        if not self._pending:
+        if cycle < self._next_release or not self._pending:
             return
         expired = [a for a, comp in self._pending.items() if comp <= cycle]
         for addr in expired:
@@ -171,10 +181,14 @@ class MSHRFile:
         if self._claims:
             for addr in expired:
                 self._claims.pop(addr, None)
+        pending = self._pending
+        self._next_release = (min(pending.values()) if pending
+                              else _FAR_FUTURE)
 
     def reset(self) -> None:
         self._pending.clear()
         self._claims.clear()
+        self._next_release = _FAR_FUTURE
         self.merges = 0
         self.allocations = 0
         self.full_stalls = 0

@@ -38,6 +38,11 @@ class StridePrefetcher:
     def __init__(self, config: PrefetcherConfig, line_bytes: int = 64) -> None:
         self.config = config
         self.line_bytes = line_bytes
+        # hot-path mirrors: train() runs once per L1D load access, so
+        # the per-call config attribute chains are worth caching
+        self._enabled = config.enabled
+        self._assoc = config.table_assoc
+        self._degree = config.degree
         self.num_sets = max(1, config.table_entries // config.table_assoc)
         self._sets: list[OrderedDict[int, _StrideEntry]] = [
             OrderedDict() for _ in range(self.num_sets)]
@@ -49,7 +54,7 @@ class StridePrefetcher:
         cset = self._sets[index]
         entry = cset.get(pc)
         if entry is None:
-            if len(cset) >= self.config.table_assoc:
+            if len(cset) >= self._assoc:
                 cset.popitem(last=False)
             entry = _StrideEntry(pc, 0)
             cset[pc] = entry
@@ -63,7 +68,7 @@ class StridePrefetcher:
         Called for every L1D load access so strides are learned from the
         full stream; prefetches are only *issued* on a miss, per Table 1.
         """
-        if not self.config.enabled:
+        if not self._enabled:
             return []
         self.trained += 1
         entry = self._entry_for(pc)
@@ -92,7 +97,7 @@ class StridePrefetcher:
         # to harvest (libquantum's 247-cycle Table 3 latency).
         candidates = []
         seen = set()
-        for k in range(1, self.config.degree + 1):
+        for k in range(1, self._degree + 1):
             target = addr + k * entry.stride
             if target < 0:
                 break

@@ -14,7 +14,16 @@ grown and shrunk at run time — the substrate the paper's contribution
 
 from repro.pipeline.resources import WindowResource, WindowSet
 from repro.pipeline.core import Processor, InFlightOp, simulate
+from repro.pipeline.engine import (
+    ENGINE_NAMES,
+    Engine,
+    FastEngine,
+    ReferenceEngine,
+    get_engine,
+)
 from repro.pipeline.tracer import PipelineTracer, OpRecord
 
 __all__ = ["WindowResource", "WindowSet", "Processor", "InFlightOp",
-           "simulate", "PipelineTracer", "OpRecord"]
+           "simulate", "PipelineTracer", "OpRecord",
+           "Engine", "ReferenceEngine", "FastEngine", "get_engine",
+           "ENGINE_NAMES"]

@@ -913,7 +913,13 @@ class Processor:
         """Advance until ``committed_total`` reaches ``until_committed``,
         the trace drains, or ``max_cycles`` is exceeded (error)."""
         if max_cycles is None:
-            max_cycles = self.cycle + (until_committed + 1000) * 600
+            # Livelock bound on cycles elapsed *this call*: size it from
+            # the commits still to go, not the absolute target — a run()
+            # resumed at a high commit count (warmup done, measurement
+            # segment) would otherwise inherit an inflated allowance.
+            max_cycles = (self.cycle
+                          + (until_committed - self.committed_total + 1000)
+                          * 600)
         step = self.step_cycle
         advance = self.advance
         while self.committed_total < until_committed:
@@ -1074,7 +1080,8 @@ def simulate(config: ProcessorConfig, trace: "Trace",
              policy: ResizingPolicy | None = None,
              prewarm: bool = True, sanitize: bool = False,
              fast_forward: bool = True,
-             telemetry=None) -> SimulationResult:
+             telemetry=None,
+             engine: str | None = None) -> SimulationResult:
     """Run one trace on one configuration and return the measured result.
 
     The caches are pre-installed with the trace's resident regions
@@ -1101,20 +1108,32 @@ def simulate(config: ProcessorConfig, trace: "Trace",
     canonical stat digest is bit-identical to a ``telemetry=None`` run
     (the digest-neutrality invariant of :mod:`repro.telemetry`, enforced
     by ``tests/test_telemetry.py``).
+
+    ``engine`` selects the main-loop backend (``"reference"`` or
+    ``"fast"``, see :mod:`repro.pipeline.engine`); ``None`` falls back
+    to ``config.engine``.  Engines are behaviourally identical — the
+    choice never appears in a result key or digest — so it is a pure
+    host-speed knob.  The fast engine transparently defers to the
+    reference stepper whenever per-cycle observers are attached
+    (``sanitize=True``, ``telemetry``, ``fast_forward=False``).
     """
     if len(trace.ops) < warmup + measure:
         raise ValueError(
             f"trace has {len(trace.ops)} ops; need {warmup + measure}")
+    # Imported here: repro.pipeline.engine imports this module.
+    from repro.pipeline.engine import get_engine
+    eng = get_engine(engine if engine is not None
+                     else getattr(config, "engine", "reference"))
     proc = Processor(config, trace, policy=policy, sanitize=sanitize)
     proc.fast_forward = fast_forward
     if prewarm:
         proc.prewarm()
     if warmup:
-        proc.run(until_committed=warmup)
+        eng.run(proc, until_committed=warmup)
         proc.reset_measurement()
     if telemetry is not None:
         telemetry.attach(proc)
-    proc.run(until_committed=warmup + measure)
+    eng.run(proc, until_committed=warmup + measure)
     if proc.debug is not None:
         proc.debug.final_check()
     if telemetry is not None:

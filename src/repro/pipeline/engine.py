@@ -1,0 +1,753 @@
+"""Pluggable execution engines driving :class:`Processor`'s cycle loop.
+
+An *engine* owns the main loop of a simulation: the policy of *when* to
+evaluate which pipeline stage, and how to account simulated cycles.  Two
+interchangeable backends are provided:
+
+* :class:`ReferenceEngine` — delegates to :meth:`Processor.run`, the
+  per-cycle stepper every invariant is defined against.  It evaluates
+  every stage every stepped cycle and fast-forwards only when the core
+  is *totally* quiescent (``progress == 0`` and nothing issue-ready).
+* :class:`FastEngine` — a batched event-driven stepper.  It runs the
+  same stage algorithms (hand-inlined, stage order preserved:
+  events → commit → issue → policy → dispatch → fetch), but
+
+  - skips a stage's evaluation whenever its guard proves the stage
+    cannot do observable work this cycle (empty ready heap, incomplete
+    ROB head, stalled/empty frontend);
+  - generalises the idle jump: when no op is issue-ready, the ROB head
+    is incomplete and the frontend is provably blocked, it skips
+    straight to the next *interesting* cycle (event-heap head, stall
+    release, decode-queue head, policy timer) even while writebacks
+    are pending — the regime the reference stepper walks cycle by
+    cycle;
+  - converts per-cycle accounting into the closed-form delta form that
+    :meth:`Processor._advance_accounting` already supports, flushed at
+    level transitions and run exit, and batches pure event counters in
+    locals.
+
+The engines are **behaviourally identical**: every digest-visible
+statistic (see :mod:`repro.verify.digest`) is bit-identical between
+them, which the ``engine-equivalence`` oracle asserts over the full
+program table.  Deliberately *not* identical are the loop-shape
+counters the digest already excludes — ``fetch_stall_cycles`` /
+``dispatch_stall_cycles`` (only counted on evaluated cycles), and the
+``stall_slots`` CPI-stack attribution, which the fast engine lumps per
+accounting segment instead of per cycle.
+
+Soundness of a skip rests on two proof obligations (DESIGN.md §6):
+
+1. *Machine quiescence*: a skipped cycle must be one in which no stage
+   can change architectural or timing state.  Completion and wakeup
+   travel through the event heap; commit needs a complete ROB head;
+   dispatch needs a decoded op, allocation permission and window room;
+   fetch needs the stall released, trace ops and buffer space.  Each
+   blocked condition is stable until an event fires or a tracked
+   release cycle arrives, so jumping to the earliest of those cannot
+   skip a cycle in which work was possible.
+2. *Policy quiescence*: a resizing policy whose tick returned no action
+   and which does not request ``wants_tick_every_cycle`` must guarantee
+   its tick is state-neutral on every cycle strictly before
+   ``next_timer()``.  All shipped policies honour this contract (and
+   any policy that stops allocation keeps ``wants_tick_every_cycle``
+   raised while doing so); the engine ticks the policy on every cycle
+   it *does* evaluate and never jumps past ``next_timer()``.
+
+Fallback rule: the sanitizer, telemetry probes and the pipeline tracer
+observe the machine by shadowing bound methods (``step_cycle``,
+``advance``) or hooking per-cycle paths, and the runahead model drives
+commit-stage entry points the fast loop does not replicate.  Whenever
+any of those are attached — checked per :meth:`FastEngine.run` call,
+because telemetry attaches at the warmup/measure boundary — the fast
+engine transparently defers to the reference stepper, so probes see
+every cycle.  ``fast_forward=False`` (the equivalence-oracle mode)
+likewise forces the reference stepper.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop as _heappop, heappush as _heappush
+
+from repro.debug.errors import DeadlockError
+from repro.isa import EXEC_LATENCY, OpClass, REG_INVALID
+from repro.memory import AccessPath
+from repro.pipeline.core import (
+    DECODE_LATENCY,
+    FETCH_BUFFER,
+    InFlightOp,
+    _EV_COMPLETE,
+    _EV_WAKE,
+    _FU_INDEX,
+)
+
+#: EXEC_LATENCY as a dense tuple indexed by OpClass value (dict-free
+#: hot-path lookup, same trick as ``_FU_INDEX``).
+_EXEC_LAT = tuple(EXEC_LATENCY[OpClass(i)] for i in range(len(OpClass)))
+_LOAD_LAT = EXEC_LATENCY[OpClass.LOAD]
+_STORE_LAT = EXEC_LATENCY[OpClass.STORE]
+
+
+class Engine:
+    """One main-loop strategy.  Stateless: one instance serves any
+    number of processors."""
+
+    name = "?"
+
+    def run(self, proc, until_committed: int,
+            max_cycles: int | None = None) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class ReferenceEngine(Engine):
+    """The per-cycle stepper (:meth:`Processor.run`), looked up as an
+    instance attribute so sanitizer/telemetry bound-method shadowing
+    keeps working."""
+
+    name = "reference"
+
+    def run(self, proc, until_committed: int,
+            max_cycles: int | None = None) -> None:
+        proc.run(until_committed, max_cycles)
+
+
+def _must_defer(proc) -> bool:
+    """True when per-cycle observers (or models the fast loop does not
+    replicate) are attached — see the module docstring's fallback rule."""
+    return (proc.runahead is not None
+            or proc.debug is not None
+            or proc.telemetry is not None
+            or proc.tracer is not None
+            or not proc.fast_forward
+            or "step_cycle" in proc.__dict__
+            or "advance" in proc.__dict__)
+
+
+class FastEngine(Engine):
+    """Batched event-driven stepper (see module docstring)."""
+
+    name = "fast"
+
+    def run(self, proc, until_committed: int,
+            max_cycles: int | None = None) -> None:
+        # Checked per call: telemetry attaches between the warmup and
+        # measurement run() calls of one simulate().
+        if _must_defer(proc):
+            proc.run(until_committed, max_cycles)
+            return
+        _fast_run(proc, until_committed, max_cycles)
+
+
+def _fast_run(proc, until_committed: int, max_cycles: int | None) -> None:
+    # The stage bodies below are hand-inlined copies of the reference
+    # stages in repro.pipeline.core, minus the runahead branches (a
+    # runahead model forces the reference stepper, so no op can carry
+    # INV here) and with pure-total counters batched in locals.  Any
+    # behavioural edit to a core stage must be mirrored here — the
+    # engine-equivalence oracle is the enforcement.
+    stats = proc.stats
+    activity = stats.activity
+    events = proc._events
+    rob = proc.rob
+    queue = proc._decode_q
+    ready = proc._ready
+    regmap = proc._map
+    pending_stores = proc._pending_stores
+    window = proc.window
+    wrob = window.rob
+    wiq = window.iq
+    wlsq = window.lsq
+    policy = proc.policy
+    inert = proc._policy_inert
+    predictor = proc.predictor
+    trace_ops = proc.trace.ops
+    n_ops = len(trace_ops)
+    wrong_path_gen = proc.trace.wrong_path
+    width = proc._width
+    fu_limits = proc._fu_limit_vec
+    fu_used = proc._fu_used_vec
+    fu_index = _FU_INDEX
+    exec_lat = _EXEC_LAT
+    l1i_line = proc._l1i_line_bytes
+    l1i_hit = proc._l1i_hit_latency
+    resolve_branch = proc._resolve_branch
+    hierarchy = proc.hierarchy
+    hier_load = hierarchy.load
+    hier_store = hierarchy.store
+    ifetch = hierarchy.ifetch
+    rob_popleft = rob.popleft
+    rob_append = rob.append
+    queue_append = queue.append
+    queue_popleft = queue.popleft
+    map_get = regmap.get
+    ps_get = pending_stores.get
+    dmi_append = stats.demand_miss_intervals.append
+    new_op = InFlightOp.__new__
+    op_cls = InFlightOp
+    correct_path = AccessPath.CORRECT
+    wrong_path_acc = AccessPath.WRONG
+
+    # ---- level-dependent mirrors (refreshed at level transitions) ----
+    wakeup_delay = proc.extra_wakeup_delay
+    asu = proc._alloc_stall_until
+
+    # ---- fetch-state mirrors: live in locals across passes; synced
+    # ---- around _resolve_branch (the only external mutator) and at exit
+    es = proc._event_seq
+    fsu = proc._fetch_stall_until
+    wrong_mode = proc._wrong_mode
+    trace_idx = proc._trace_idx
+    wrong_k = proc._wrong_k
+    wrong_base_pc = proc._wrong_base_pc
+    last_line = proc._last_fetch_line
+    seq = proc._seq
+    sa = proc._stop_alloc
+    p_wants = False if inert else policy.wants_tick_every_cycle
+
+    # ---- run bookkeeping ----
+    committed_total = proc.committed_total
+    entry_cycle = proc.cycle
+    if max_cycles is None:
+        # livelock bound on cycles *elapsed since entry* for the
+        # *remaining* commit target (same heuristic as Processor.run)
+        limit = entry_cycle + (until_committed - committed_total
+                               + 1000) * 600
+    else:
+        limit = max_cycles
+
+    # ---- batched pure-total counters (flushed at exit) ----
+    c_uops = c_loads = c_stores = c_branches = c_mispred = 0
+    d_uops = wp_uops = i_uops = sq_stop_alloc = 0
+    a_fetches = a_decodes = a_renames = a_iq_writes = a_rob_writes = 0
+    a_rob_reads = a_iq_wakeups = a_iq_issues = a_fu_ops = 0
+    a_bpred = a_l1i = a_l1d = a_lsq = 0
+
+    # ---- deferred cycle accounting: one segment per level residency ----
+    seg_start = entry_cycle
+    seg_committed_base = committed_total
+
+    def _flush_segment(seg_end: int, cur_asu: int) -> None:
+        """Closed-form accounting for [seg_start, seg_end): level, caps
+        and _alloc_stall_until are constant over a segment by
+        construction (flushed at every level transition)."""
+        nonlocal seg_start, seg_committed_base
+        delta = seg_end - seg_start
+        if delta > 0:
+            stats.cycles += delta
+            stats.note_level_cycles(proc.level, delta)
+            iq_c, rob_c, lsq_c, iq_m, rob_m, lsq_m = proc._cap_vec
+            activity.iq_size_cycles += iq_c * delta
+            activity.rob_size_cycles += rob_c * delta
+            activity.lsq_size_cycles += lsq_c * delta
+            activity.iq_max_cycles += iq_m * delta
+            activity.rob_max_cycles += rob_m * delta
+            activity.lsq_max_cycles += lsq_m * delta
+            if seg_start < cur_asu:
+                stats.transition_stall_cycles += (
+                    min(seg_end, cur_asu) - seg_start)
+            # CPI-stack raw material, digest-excluded: lump the
+            # segment's unused commit slots onto the current commit
+            # blocker (coarse by design — see DESIGN.md §6)
+            slots = width * delta - (committed_total - seg_committed_base)
+            if slots > 0:
+                stats.note_stall_slots(proc._classify_commit_block(), slots)
+        seg_start = seg_end
+        seg_committed_base = committed_total
+
+    now = entry_cycle
+    try:
+        while committed_total < until_committed:
+            if now > limit:
+                proc.cycle = now
+                proc.committed_total = committed_total
+                proc._trace_idx = trace_idx
+                proc._wrong_mode = wrong_mode
+                raise DeadlockError(proc._deadlock_report(
+                    f"exceeded {limit} cycles with only "
+                    f"{committed_total}/{until_committed} committed "
+                    f"(likely livelock)"))
+            proc.cycle = now
+
+            # ---- events --------------------------------------------
+            if events and events[0][0] <= now:
+                while events and events[0][0] <= now:
+                    ev = _heappop(events)
+                    op = ev[3]
+                    if ev[2] == _EV_COMPLETE:
+                        if op.squashed or op.complete:
+                            continue
+                        op.complete = True
+                        op.complete_cycle = now
+                        uop = op.uop
+                        if uop.is_branch and op.branch_token is not None:
+                            # sync fetch mirrors around the one kept call
+                            # that mutates them
+                            proc._fetch_stall_until = fsu
+                            proc._wrong_mode = wrong_mode
+                            proc._last_fetch_line = last_line
+                            resolve_branch(op)
+                            fsu = proc._fetch_stall_until
+                            wrong_mode = proc._wrong_mode
+                            last_line = proc._last_fetch_line
+                        if uop.is_store:
+                            waiters = op.fwd_waiters
+                            if waiters:
+                                op.fwd_waiters = None
+                                t = now + 1
+                                for load in waiters:
+                                    if not load.squashed:
+                                        es += 1
+                                        _heappush(events,
+                                                  (t, es, _EV_COMPLETE,
+                                                   load))
+                        latency = now - op.issue_cycle
+                        if latency < 1:
+                            latency = 1
+                        delay = wakeup_delay + 1 - latency
+                        a_iq_wakeups += 1
+                        if delay <= 0:
+                            op.woken_at = now
+                            consumers = op.consumers
+                            if consumers:
+                                op.consumers = None
+                                inv = op.inv
+                                for consumer in consumers:
+                                    if consumer.squashed or consumer.issued:
+                                        continue
+                                    if inv:
+                                        consumer.inherit_inv = True
+                                    n = consumer.pending_srcs - 1
+                                    consumer.pending_srcs = n
+                                    if n == 0:
+                                        consumer.ready_cycle = now
+                                        _heappush(ready,
+                                                  (consumer.seq, consumer))
+                        else:
+                            op.woken_at = woken = now + delay
+                            es += 1
+                            _heappush(events, (woken, es, _EV_WAKE, op))
+                    else:   # _EV_WAKE (_EV_RA_EXIT: runahead defers)
+                        consumers = op.consumers
+                        if consumers:
+                            op.consumers = None
+                            inv = op.inv
+                            for consumer in consumers:
+                                if consumer.squashed or consumer.issued:
+                                    continue
+                                if inv:
+                                    consumer.inherit_inv = True
+                                n = consumer.pending_srcs - 1
+                                consumer.pending_srcs = n
+                                if n == 0:
+                                    consumer.ready_cycle = now
+                                    _heappush(ready, (consumer.seq, consumer))
+
+            # ---- commit --------------------------------------------
+            if rob:
+                op = rob[0]
+                if op.complete:
+                    committed = 0
+                    while True:
+                        rob_popleft()
+                        wrob.occupancy -= 1
+                        wrob.release_count += 1
+                        uop = op.uop
+                        if uop.is_mem:
+                            wlsq.occupancy -= 1
+                            wlsq.release_count += 1
+                        committed_total += 1
+                        c_uops += 1
+                        if uop.is_load:
+                            c_loads += 1
+                        elif uop.is_store:
+                            c_stores += 1
+                            word = uop.addr & ~7
+                            if ps_get(word) is op:
+                                del pending_stores[word]
+                            hier_store(uop.addr, now, correct_path)
+                        elif uop.is_branch:
+                            c_branches += 1
+                            if op.mispredicted:
+                                c_mispred += 1
+                                total_c = stats.committed_uops + c_uops
+                                stats.mispredict_distances.append(
+                                    total_c - stats._last_mispredict_commit)
+                                stats._last_mispredict_commit = total_c
+                        a_rob_reads += 1
+                        committed += 1
+                        if committed >= width or not rob:
+                            break
+                        op = rob[0]
+                        if not op.complete:
+                            break
+                    window.committed += committed
+
+            # ---- issue ---------------------------------------------
+            if ready:
+                issued = 0
+                scans = 0
+                fu_used[0] = fu_used[1] = fu_used[2] = fu_used[3] = \
+                    fu_used[4] = 0
+                deferred = None
+                while ready and issued < width and scans < 32:
+                    scans += 1
+                    item = _heappop(ready)
+                    op = item[1]
+                    if op.squashed or op.issued:
+                        continue
+                    if op.ready_cycle > now:
+                        if deferred is None:
+                            deferred = [item]
+                        else:
+                            deferred.append(item)
+                        continue
+                    uop = op.uop
+                    pool = fu_index[uop.op]
+                    if fu_used[pool] >= fu_limits[pool]:
+                        if deferred is None:
+                            deferred = [item]
+                        else:
+                            deferred.append(item)
+                        continue
+                    fu_used[pool] += 1
+                    op.issued = True
+                    op.issue_cycle = now
+                    if op.in_iq:
+                        wiq.occupancy -= 1
+                        wiq.release_count += 1
+                        op.in_iq = False
+                    i_uops += 1
+                    a_iq_issues += 1
+                    a_fu_ops += 1
+                    if op.inherit_inv:
+                        op.inv = True
+                    if uop.is_load:
+                        op.addr_known_cycle = addr_ready = now + _LOAD_LAT
+                        a_lsq += 1
+                        word = uop.addr & ~7
+                        store = ps_get(word)
+                        if (store is not None and not store.squashed
+                                and store.seq < op.seq):
+                            op.forwarded = True
+                            if store.complete:
+                                t = store.complete_cycle
+                                if t < addr_ready:
+                                    t = addr_ready
+                                es += 1
+                                _heappush(events,
+                                          (t + 1, es, _EV_COMPLETE, op))
+                            else:
+                                fw = store.fwd_waiters
+                                if fw is None:
+                                    store.fwd_waiters = [op]
+                                else:
+                                    fw.append(op)
+                        else:
+                            a_l1d += 1
+                            result = hier_load(
+                                uop.addr, addr_ready, uop.pc,
+                                wrong_path_acc if op.wrong_path
+                                else correct_path)
+                            cc = result.complete_cycle
+                            op.complete_cycle = cc
+                            if result.l2_miss:
+                                op.l2_miss = True
+                                if not op.wrong_path:
+                                    dmi_append((addr_ready, cc))
+                            es += 1
+                            _heappush(events, (cc, es, _EV_COMPLETE, op))
+                    elif uop.is_store:
+                        op.addr_known_cycle = t = now + _STORE_LAT
+                        es += 1
+                        _heappush(events, (t, es, _EV_COMPLETE, op))
+                    else:
+                        es += 1
+                        _heappush(events,
+                                  (now + exec_lat[uop.op], es,
+                                   _EV_COMPLETE, op))
+                    issued += 1
+                if deferred:
+                    for item in deferred:
+                        _heappush(ready, item)
+
+            # ---- policy --------------------------------------------
+            if not inert:
+                decision = policy.tick(now, window)
+                sa = decision.stop_alloc
+                proc._stop_alloc = sa
+                if sa:
+                    sq_stop_alloc += 1
+                new_level = decision.new_level
+                if new_level is not None and new_level != proc.level:
+                    _flush_segment(now, asu)
+                    proc._apply_level(new_level)
+                    asu = proc._alloc_stall_until
+                    wakeup_delay = proc.extra_wakeup_delay
+                # wants_tick_every_cycle is a property; it only changes
+                # when the policy's own tick mutates its state, so one
+                # read per tick is exact
+                p_wants = policy.wants_tick_every_cycle
+
+            # ---- dispatch ------------------------------------------
+            if queue and now >= asu and not sa:
+                ready_at, op = queue[0]
+                if ready_at <= now:
+                    dispatched = 0
+                    while True:
+                        uop = op.uop
+                        is_mem = uop.is_mem
+                        if (wrob.capacity - wrob.occupancy < 1
+                                or wiq.capacity - wiq.occupancy < 1
+                                or (is_mem
+                                    and wlsq.capacity - wlsq.occupancy < 1)):
+                            if wrob.capacity - wrob.occupancy < 1:
+                                wrob.full_events += 1
+                            if wiq.capacity - wiq.occupancy < 1:
+                                wiq.full_events += 1
+                            if (is_mem
+                                    and wlsq.capacity - wlsq.occupancy < 1):
+                                wlsq.full_events += 1
+                            break
+                        queue_popleft()
+                        op.dispatch_cycle = now
+                        o = wrob.occupancy + 1
+                        wrob.occupancy = o
+                        wrob.alloc_count += 1
+                        if o > wrob.peak_occupancy:
+                            wrob.peak_occupancy = o
+                        o = wiq.occupancy + 1
+                        wiq.occupancy = o
+                        wiq.alloc_count += 1
+                        if o > wiq.peak_occupancy:
+                            wiq.peak_occupancy = o
+                        op.in_iq = True
+                        if is_mem:
+                            o = wlsq.occupancy + 1
+                            wlsq.occupancy = o
+                            wlsq.alloc_count += 1
+                            if o > wlsq.peak_occupancy:
+                                wlsq.peak_occupancy = o
+                        d_uops += 1
+                        if op.wrong_path:
+                            wp_uops += 1
+                        a_renames += 1
+                        a_iq_writes += 1
+                        a_rob_writes += 1
+                        pending = 0
+                        for src in uop.srcs:
+                            producer = map_get(src)
+                            if producer is None or producer.squashed:
+                                continue
+                            w = producer.woken_at
+                            if 0 <= w <= now:
+                                if producer.inv:
+                                    op.inherit_inv = True
+                                continue
+                            plist = producer.consumers
+                            if plist is None:
+                                producer.consumers = [op]
+                            else:
+                                plist.append(op)
+                            pending += 1
+                        op.pending_srcs = pending
+                        op.ready_cycle = now + 1
+                        if pending == 0:
+                            _heappush(ready, (op.seq, op))
+                        dst = uop.dst
+                        if dst != REG_INVALID:
+                            regmap[dst] = op
+                        rob_append(op)
+                        if uop.is_store:
+                            pending_stores[uop.addr & ~7] = op
+                        dispatched += 1
+                        if dispatched >= width or not queue:
+                            break
+                        ready_at, op = queue[0]
+                        if ready_at > now:
+                            break
+
+            # ---- fetch ---------------------------------------------
+            if (now >= fsu and len(queue) < FETCH_BUFFER
+                    and (wrong_mode or trace_idx < n_ops)):
+                fetched = 0
+                while fetched < width and len(queue) < FETCH_BUFFER:
+                    if wrong_mode:
+                        uop = wrong_path_gen.op_at(wrong_base_pc, wrong_k)
+                        t_idx = -1
+                    else:
+                        if trace_idx >= n_ops:
+                            break
+                        uop = trace_ops[trace_idx]
+                        t_idx = trace_idx
+                    pc = uop.pc
+                    line = pc - pc % l1i_line
+                    if line != last_line:
+                        a_l1i += 1
+                        done = ifetch(pc, now)
+                        last_line = line
+                        if done > now + l1i_hit:
+                            fsu = done
+                            break
+                    seq += 1
+                    op = new_op(op_cls)
+                    op.seq = seq
+                    op.uop = uop
+                    op.trace_idx = t_idx
+                    op.wrong_path = wrong_mode
+                    op.pending_srcs = 0
+                    op.consumers = None
+                    op.ready_cycle = 0
+                    op.issued = False
+                    op.complete = False
+                    op.squashed = False
+                    op.in_iq = False
+                    op.issue_cycle = -1
+                    op.complete_cycle = -1
+                    op.woken_at = -1
+                    op.branch_token = None
+                    op.mispredicted = False
+                    op.l2_miss = False
+                    op.inv = False
+                    op.inherit_inv = False
+                    op.addr_known_cycle = -1
+                    op.forwarded = False
+                    op.fwd_waiters = None
+                    op.fetch_cycle = now
+                    op.dispatch_cycle = -1
+                    a_fetches += 1
+                    a_decodes += 1
+                    end_cycle = False
+                    if wrong_mode:
+                        wrong_k += 1
+                        end_cycle = uop.is_branch
+                    elif uop.is_branch:
+                        a_bpred += 1
+                        pred_taken, pred_target, token = predictor.predict(
+                            pc, pc + 4)
+                        op.branch_token = token
+                        trace_idx += 1
+                        actual = uop.taken
+                        mispredicted = (pred_taken != actual
+                                        or (actual
+                                            and pred_target != uop.target))
+                        op.mispredicted = mispredicted
+                        if mispredicted:
+                            wrong_mode = True
+                            proc._wrong_branch = op
+                            wrong_base_pc = (pred_target if pred_taken
+                                             else pc + 4)
+                            wrong_k = 0
+                        end_cycle = pred_taken
+                    else:
+                        trace_idx += 1
+                    queue_append((now + DECODE_LATENCY, op))
+                    fetched += 1
+                    if end_cycle:
+                        break
+
+            # ---- exit conditions -----------------------------------
+            if (not wrong_mode and trace_idx >= n_ops
+                    and not rob and not queue):
+                break   # trace drained; like the reference, the final
+                #         evaluated cycle is not accounted
+            if committed_total >= until_committed:
+                now += 1
+                break
+
+            # ---- stepping decision ---------------------------------
+            # step by one while any stage can make progress next cycle
+            if ready or p_wants or (rob and rob[0].complete):
+                now += 1
+                continue
+            if (now >= fsu and len(queue) < FETCH_BUFFER
+                    and (wrong_mode or trace_idx < n_ops)):
+                now += 1
+                continue
+            if queue and not sa and now >= asu:
+                ready_at, head = queue[0]
+                if ready_at <= now:
+                    is_mem = head.uop.is_mem
+                    if (wrob.capacity - wrob.occupancy >= 1
+                            and wiq.capacity - wiq.occupancy >= 1
+                            and (not is_mem
+                                 or wlsq.capacity - wlsq.occupancy >= 1)):
+                        now += 1
+                        continue
+            # drained: jump to the next interesting cycle
+            target = events[0][0] if events else -1
+            if fsu > now and (target < 0 or fsu < target):
+                target = fsu
+            if asu > now and (target < 0 or asu < target):
+                target = asu
+            if queue:
+                head_ready = queue[0][0]
+                if head_ready > now and (target < 0 or head_ready < target):
+                    target = head_ready
+            if not inert:
+                timer = policy.next_timer()
+                if (timer is not None and timer > now
+                        and (target < 0 or timer < target)):
+                    target = timer
+            if target < 0:
+                proc.cycle = now
+                proc.committed_total = committed_total
+                proc._trace_idx = trace_idx
+                proc._wrong_mode = wrong_mode
+                raise DeadlockError(proc._deadlock_report(
+                    "no events, no timers, nothing in flight"))
+            now = target
+    finally:
+        proc.cycle = now
+        proc.committed_total = committed_total
+        proc._event_seq = es
+        proc._fetch_stall_until = fsu
+        proc._wrong_mode = wrong_mode
+        proc._trace_idx = trace_idx
+        proc._wrong_k = wrong_k
+        proc._wrong_base_pc = wrong_base_pc
+        proc._last_fetch_line = last_line
+        proc._seq = seq
+        _flush_segment(now, asu)
+        stats.committed_uops += c_uops
+        stats.committed_loads += c_loads
+        stats.committed_stores += c_stores
+        stats.committed_branches += c_branches
+        stats.committed_mispredicts += c_mispred
+        stats.dispatched_uops += d_uops
+        stats.wrong_path_uops += wp_uops
+        stats.issued_uops += i_uops
+        stats.stop_alloc_cycles += sq_stop_alloc
+        activity.fetches += a_fetches
+        activity.decodes += a_decodes
+        activity.renames += a_renames
+        activity.iq_writes += a_iq_writes
+        activity.rob_writes += a_rob_writes
+        activity.rob_reads += a_rob_reads
+        activity.iq_wakeups += a_iq_wakeups
+        activity.iq_issues += a_iq_issues
+        activity.fu_ops += a_fu_ops
+        activity.bpred_lookups += a_bpred
+        activity.l1i_accesses += a_l1i
+        activity.l1d_accesses += a_l1d
+        activity.lsq_searches += a_lsq
+
+
+_ENGINES: dict[str, Engine] = {
+    "reference": ReferenceEngine(),
+    "fast": FastEngine(),
+}
+
+#: Engine names accepted by ``simulate(..., engine=)`` and the CLIs.
+ENGINE_NAMES: tuple[str, ...] = tuple(_ENGINES)
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve an engine by name (``reference`` or ``fast``)."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        known = ", ".join(_ENGINES)
+        raise ValueError(f"unknown engine {name!r} (known: {known})") \
+            from None

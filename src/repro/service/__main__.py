@@ -36,6 +36,11 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="memory-only store: no persistence, no "
                              "cross-restart dedup, telemetry disabled")
+    parser.add_argument("--engine", choices=("reference", "fast"),
+                        default=None,
+                        help="execution engine for every job (host-speed "
+                             "knob; results and cache keys are "
+                             "engine-independent)")
     args = parser.parse_args(argv)
 
     from repro.service.server import SimulationService
@@ -44,7 +49,8 @@ def serve_main(argv=None) -> int:
     service = SimulationService(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit, job_timeout=args.timeout,
-        max_retries=args.retries, cache_dir=cache_dir)
+        max_retries=args.retries, cache_dir=cache_dir,
+        engine=args.engine)
 
     import asyncio
 

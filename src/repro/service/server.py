@@ -76,7 +76,8 @@ class SimulationService:
                  job_timeout: float = 120.0, max_retries: int = 2,
                  retry_backoff: float = 0.25,
                  cache_dir: str | None = "",
-                 store: ResultStore | None = None) -> None:
+                 store: ResultStore | None = None,
+                 engine: str | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_limit < 1:
@@ -84,6 +85,11 @@ class SimulationService:
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.workers = workers
+        #: execution engine every admitted job runs on (None = config
+        #: default).  A pure host-speed knob: results, digests and
+        #: store keys are engine-independent, so switching it never
+        #: invalidates the cache or the dedup-by-key path.
+        self.engine = engine
         self.queue_limit = queue_limit
         self.job_timeout = job_timeout
         self.max_retries = max_retries
@@ -357,7 +363,8 @@ class SimulationService:
         errors = []
         for index, payload in enumerate(payloads):
             try:
-                specs.append(build_spec(payload, telemetry_dir=tdir))
+                specs.append(build_spec(payload, telemetry_dir=tdir,
+                                        engine=self.engine))
             except ValidationError as exc:
                 errors.append({"index": index, "error": str(exc)})
         if errors:

@@ -5,11 +5,17 @@ Subcommands:
 * ``oracles`` — run the differential/metamorphic oracle suite on the
   smoke corpus (default when no subcommand is given);
 * ``check`` — recompute the smoke-corpus stat digests and compare them
-  against the committed ``results/golden_digests.json``;
+  against the committed ``results/golden_digests.json``; ``--engine
+  fast`` recomputes them with the fast engine (the goldens are always
+  regenerated with the reference engine, so this doubles as an
+  equivalence check);
 * ``regen`` — recompute and rewrite the golden file (do this in the
   same commit as an intentional ``SIM_VERSION`` bump);
+* ``engines`` — the engine-equivalence oracle over the *full* program
+  table (reference vs fast digest identity per program and model);
 * ``fuzz`` — random-trace paired-run fuzzing through the parallel
-  campaign executor.
+  campaign executor (``--engines`` pairs the two execution engines
+  instead of the ff/pin kinds).
 
 Exit status is 0 iff every requested check passed.
 """
@@ -39,9 +45,18 @@ def main(argv: list[str] | None = None) -> int:
 
     p_check = sub.add_parser("check", help="check golden digests")
     p_check.add_argument("--path", default=GOLDEN_PATH)
+    p_check.add_argument("--engine", choices=("reference", "fast"),
+                         default=None,
+                         help="execution engine recomputing the digests "
+                              "(default: reference)")
 
     p_regen = sub.add_parser("regen", help="regenerate golden digests")
     p_regen.add_argument("--path", default=GOLDEN_PATH)
+
+    p_engines = sub.add_parser(
+        "engines", help="engine-equivalence oracle over the full table")
+    p_engines.add_argument("--programs", nargs="+", default=None,
+                           help="programs (default: the full table)")
 
     p_fuzz = sub.add_parser("fuzz", help="paired-run fuzzing")
     p_fuzz.add_argument("--pairs", type=int, default=8,
@@ -50,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes (default: all cores)")
     p_fuzz.add_argument("--seed", type=int, default=1,
                         help="base seed; same seed replays the session")
+    p_fuzz.add_argument("--engines", action="store_true",
+                        help="pair the reference and fast execution "
+                             "engines instead of the ff/pin kinds")
 
     args = parser.parse_args(argv)
     command = args.command or "oracles"
@@ -58,7 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         outcomes = run_all_oracles(tuple(args.programs)
                                    if args.command else SMOKE_CORPUS)
     elif command == "check":
-        outcomes = check_golden(args.path)
+        outcomes = check_golden(args.path, engine=args.engine)
+    elif command == "engines":
+        from repro.verify.oracles import check_engine_equivalence
+        outcomes = check_engine_equivalence(
+            tuple(args.programs) if args.programs else None)
     elif command == "regen":
         payload = write_golden(args.path)
         cells = sum(len(v) for v in payload["digests"].values())
@@ -68,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         from repro.verify.fuzz import run_fuzz
         outcomes = run_fuzz(n_pairs=args.pairs, jobs=args.jobs,
-                            base_seed=args.seed)
+                            base_seed=args.seed, engines=args.engines)
 
     print(report(outcomes))
     return 0 if all(o.passed for o in outcomes) else 1

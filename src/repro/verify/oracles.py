@@ -84,10 +84,11 @@ def smoke_trace(program: str, seed: int = SMOKE_SEED,
 
 
 def _smoke_run(config: ProcessorConfig, trace: Trace, *,
-               policy=None, fast_forward: bool = True):
+               policy=None, fast_forward: bool = True,
+               engine: str | None = None):
     return simulate(config, trace, warmup=SMOKE_WARMUP,
                     measure=SMOKE_MEASURE, policy=policy,
-                    fast_forward=fast_forward)
+                    fast_forward=fast_forward, engine=engine)
 
 
 def _digest_mismatch_detail(res_a, res_b, limit: int = 4) -> str:
@@ -347,6 +348,43 @@ def check_fast_forward_equivalence(programs=SMOKE_CORPUS) -> list[OracleOutcome]
 
 
 # ----------------------------------------------------------------------
+# 5. engine equivalence
+
+
+def check_engine_equivalence(programs=None) -> list[OracleOutcome]:
+    """The fast engine must be bit-identical to the reference stepper.
+
+    :mod:`repro.pipeline.engine` promises behavioural identity: the
+    batched event-driven stepper may only skip cycles in which no stage
+    could do observable work (the quiescence obligations of DESIGN.md).
+    Each program runs reference-vs-fast on the dynamic model (policy
+    timers, level transitions and transition-stall accounting are the
+    states a wrong jump would skew) and on the base fixed configuration
+    (the pure machine-quiescence case); the stat digests must match bit
+    for bit.
+
+    Defaults to the **full** program table — this is the oracle that
+    licenses ``--engine fast`` everywhere else, so it earns the wider
+    net than the smoke corpus (pass ``programs`` to narrow it).
+    """
+    from repro.workloads import program_names
+    if programs is None:
+        programs = program_names()
+    outcomes = []
+    for program in programs:
+        trace = smoke_trace(program)
+        for label, config in (("dynamic", dynamic_config(3)),
+                              ("fixed1", fixed_config(1))):
+            ref = _smoke_run(config, trace, engine="reference")
+            fast = _smoke_run(config, trace, engine="fast")
+            same = result_digest(ref) == result_digest(fast)
+            outcomes.append(OracleOutcome(
+                "engine-equivalence", f"{program} {label}", same,
+                "" if same else _digest_mismatch_detail(ref, fast)))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
 
 
 def run_all_oracles(programs=SMOKE_CORPUS) -> list[OracleOutcome]:
@@ -364,4 +402,5 @@ def run_all_oracles(programs=SMOKE_CORPUS) -> list[OracleOutcome]:
         or MONOTONE_PROGRAMS)
     outcomes += check_degenerate_memory()
     outcomes += check_fast_forward_equivalence(programs)
+    outcomes += check_engine_equivalence(programs)
     return outcomes

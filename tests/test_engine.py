@@ -1,0 +1,142 @@
+"""The pluggable execution-engine layer (:mod:`repro.pipeline.engine`).
+
+The heavyweight guarantee — digest bit-identity between the reference
+and fast engines over the full program table — lives in the
+``engine-equivalence`` oracle (``python -m repro.verify engines``).
+These tests pin the plumbing around it: engine selection, the
+sanitizer/telemetry fallback rule, segmented-run equivalence, and the
+elapsed-based livelock bound of :meth:`Processor.run`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import base_config, dynamic_config
+from repro.debug.errors import DeadlockError
+from repro.pipeline import (
+    ENGINE_NAMES,
+    FastEngine,
+    Processor,
+    ReferenceEngine,
+    get_engine,
+    simulate,
+)
+from repro.pipeline.engine import _must_defer
+from repro.verify.digest import result_digest
+from repro.workloads import generate_trace, profile
+
+
+def _trace(program="leslie3d", n_ops=4_000, seed=1):
+    return generate_trace(profile(program), n_ops=n_ops, seed=seed)
+
+
+class TestEngineSelection:
+    def test_registry(self):
+        assert ENGINE_NAMES == ("reference", "fast")
+        assert isinstance(get_engine("reference"), ReferenceEngine)
+        assert isinstance(get_engine("fast"), FastEngine)
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("warp")
+
+    def test_simulate_engine_argument_overrides_config(self):
+        trace = _trace(n_ops=2_500)
+        config = dataclasses.replace(base_config(), engine="fast")
+        ref = simulate(config, trace, warmup=500, measure=1_500,
+                       engine="reference")
+        fast = simulate(config, trace, warmup=500, measure=1_500)
+        assert result_digest(ref) == result_digest(fast)
+
+
+class TestFallbackRule:
+    """Per-cycle observers force the reference stepper (the fast loop
+    would be invisible to them)."""
+
+    def _proc(self, **kwargs):
+        proc = Processor(base_config(), _trace(n_ops=1_000), **kwargs)
+        return proc
+
+    def test_plain_processor_is_eligible(self):
+        assert not _must_defer(self._proc())
+
+    def test_sanitizer_defers(self):
+        assert _must_defer(self._proc(sanitize=True))
+
+    def test_no_fast_forward_defers(self):
+        proc = self._proc()
+        proc.fast_forward = False
+        assert _must_defer(proc)
+
+    def test_shadowed_step_cycle_defers(self):
+        proc = self._proc()
+        proc.step_cycle = proc.step_cycle   # bound-method shadowing
+        assert _must_defer(proc)
+
+    def test_telemetry_defers(self):
+        from repro.telemetry import TelemetryProbe
+        proc = self._proc()
+        TelemetryProbe(period=64).attach(proc)
+        assert _must_defer(proc)
+
+    def test_sanitized_simulate_still_digest_identical(self):
+        # engine="fast" with sanitize=True must transparently defer —
+        # and therefore still produce the reference digest
+        trace = _trace(n_ops=2_500)
+        plain = simulate(base_config(), trace, warmup=500, measure=1_500)
+        checked = simulate(base_config(), trace, warmup=500, measure=1_500,
+                           sanitize=True, engine="fast")
+        assert result_digest(plain) == result_digest(checked)
+
+
+class TestSegmentedRuns:
+    def test_fast_engine_resumes_across_segments(self):
+        """Chopping one run into arbitrary fast-engine segments must
+        land on the same state as one reference run (the warmup/measure
+        split in simulate() relies on exactly this)."""
+        trace = _trace("milc", n_ops=4_000)
+        config = dynamic_config(3)
+
+        ref = Processor(config, trace)
+        ref.prewarm()
+        ref.run(until_committed=3_000)
+
+        fast = Processor(config, trace)
+        fast.prewarm()
+        engine = get_engine("fast")
+        for target in (700, 1_234, 2_999, 3_000):
+            engine.run(fast, until_committed=target)
+        assert fast.cycle == ref.cycle
+        assert fast.committed_total == ref.committed_total
+        assert (result_digest(fast.result())
+                == result_digest(ref.result()))
+
+
+class TestLivelockBound:
+    def test_bound_sized_from_remaining_commits(self):
+        """The livelock allowance is elapsed-based: a run() resumed at
+        a high commit count gets a budget for the commits *left*, not
+        for the absolute target."""
+        proc = Processor(base_config(), _trace(n_ops=3_000))
+        proc.prewarm()
+        proc.run(until_committed=1_000)
+        entry_cycle = proc.cycle
+
+        # livelock: cycles advance, nothing commits
+        proc.step_cycle = lambda: 1
+        with pytest.raises(DeadlockError, match="livelock"):
+            proc.run(until_committed=1_100)
+        # remaining=100 -> allowance (100 + 1000) * 600, not
+        # (1100 + 1000) * 600
+        assert proc.cycle - entry_cycle <= (100 + 1_000) * 600 + 1
+
+    def test_explicit_max_cycles_still_respected(self):
+        proc = Processor(base_config(), _trace(n_ops=3_000))
+        proc.prewarm()
+        proc.step_cycle = lambda: 1
+        with pytest.raises(DeadlockError):
+            proc.run(until_committed=10, max_cycles=50)
+        assert proc.cycle <= 52

@@ -435,3 +435,58 @@ class TestConfigFingerprint:
     def test_distinct_configs_distinct_fingerprints(self):
         assert (config_fingerprint(base_config())
                 != config_fingerprint(dynamic_config(3)))
+
+
+class TestEngineKeyNeutrality:
+    """The execution engine is a host-speed knob: engines are
+    behaviourally identical (the engine-equivalence oracle), so the
+    choice must never split the cache keyspace."""
+
+    SETTINGS = Settings(all_programs=False, warmup=1_000, measure=1_500)
+
+    def test_engine_field_not_in_fingerprint(self):
+        config = base_config()
+        assert (config_fingerprint(config)
+                == config_fingerprint(
+                    dataclasses.replace(config, engine="fast")))
+
+    def test_engine_field_not_in_result_key(self):
+        config = base_config()
+        assert (_key(config=config)
+                == _key(config=dataclasses.replace(config, engine="fast")))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            dataclasses.replace(base_config(), engine="warp")
+
+    @pytest.mark.parametrize("warm_engine,serve_engine",
+                             [("reference", "fast"), ("fast", "reference")])
+    def test_warm_cache_serves_the_other_engine(self, tmp_path,
+                                                warm_engine, serve_engine):
+        """A .simcache populated by one engine must fully serve a sweep
+        running the other: same keys, zero re-simulation, equal stats."""
+        warm = Sweep(dataclasses.replace(self.SETTINGS, engine=warm_engine),
+                     store=ResultStore(str(tmp_path)))
+        result = warm.run("gcc", base_config())
+        assert warm.sim_runs == 1
+
+        served = Sweep(dataclasses.replace(self.SETTINGS,
+                                           engine=serve_engine),
+                       store=ResultStore(str(tmp_path)))
+        cached = served.run("gcc", base_config())
+        assert served.sim_runs == 0
+        assert served.cache_hits == 1
+        assert cached.cycles == result.cycles
+        assert cached.ipc == result.ipc
+
+    def test_engines_produce_identical_digests_here_too(self, tmp_path):
+        """Cross-serving is only sound because the engines agree; assert
+        it at this scale as well (the oracle covers the full table)."""
+        from repro.verify.digest import result_digest
+        results = {}
+        for engine in ("reference", "fast"):
+            sweep = Sweep(dataclasses.replace(self.SETTINGS, engine=engine),
+                          store=None)
+            results[engine] = sweep.run("leslie3d", dynamic_config(3))
+        assert (result_digest(results["reference"])
+                == result_digest(results["fast"]))

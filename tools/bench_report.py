@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Per-engine simulator speed report -> BENCH_6.json.
+
+Times every workload of ``benchmarks/test_simulator_speed.py`` on both
+execution engines (:mod:`repro.pipeline.engine`) and writes a JSON
+report with wall-clock, simulated cycles/sec and committed uops/sec per
+engine, plus the fast-over-reference speedup per bench.  CI uploads the
+file as an artifact so engine performance has a history; ``--min-
+speedup`` turns the memory-bound speedups into a gate (kept well below
+the locally measured ratios — shared CI runners are noisy).
+
+Usage::
+
+    python tools/bench_report.py [--out BENCH_6.json] [--rounds 5]
+                                 [--min-speedup 1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+
+def _load_bench_module():
+    path = os.path.join(_ROOT, "benchmarks", "test_simulator_speed.py")
+    spec = importlib.util.spec_from_file_location("simulator_speed", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_report(rounds: int = 5) -> dict:
+    from repro.workloads import generate_trace, profile
+    bench = _load_bench_module()
+    measure = bench.MEASURE
+    traces = {}
+    benches = {}
+    for name, (program, config_factory, bound) in bench.WORKLOADS.items():
+        trace = traces.get(program)
+        if trace is None:
+            trace = generate_trace(profile(program), n_ops=measure + 1_000,
+                                   seed=1)
+            traces[program] = trace
+        engines = {}
+        cycles = {}
+        for engine in ("reference", "fast"):
+            best = float("inf")
+            for _ in range(rounds):
+                # construction + cache prewarm stay outside the timer:
+                # the report measures the *engine loop*, not the shared
+                # setup both engines pay identically
+                from repro.pipeline import Processor, get_engine
+                proc = Processor(config_factory(), trace)
+                proc.prewarm()
+                t0 = time.perf_counter()
+                get_engine(engine).run(proc, until_committed=bench.MEASURE)
+                best = min(best, time.perf_counter() - t0)
+            cycles[engine] = proc.stats.cycles
+            engines[engine] = {
+                "wall_s": round(best, 6),
+                "cycles_per_sec": round(proc.stats.cycles / best, 1),
+                "uops_per_sec": round(proc.committed_total / best, 1),
+            }
+        # both engines must have simulated the identical machine history
+        if cycles["reference"] != cycles["fast"]:
+            raise SystemExit(
+                f"{name}: engines disagree on simulated cycles "
+                f"({cycles['reference']} vs {cycles['fast']}) — run "
+                f"`python -m repro.verify engines`")
+        benches[name] = {
+            "program": program,
+            "bound": bound,
+            "simulated_cycles": cycles["reference"],
+            "engines": engines,
+            "speedup_fast_over_reference": round(
+                engines["reference"]["wall_s"] / engines["fast"]["wall_s"],
+                3),
+        }
+    return {
+        "schema": "bench-engines-v1",
+        "measure_uops": measure,
+        "rounds": rounds,
+        "benches": benches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default="BENCH_6.json",
+                        help="output path (default BENCH_6.json)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per (bench, engine); best "
+                             "round wins (default 5)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless every memory-bound bench's "
+                             "fast-engine speedup reaches this ratio")
+    args = parser.parse_args(argv)
+
+    report = run_report(rounds=args.rounds)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    failures = []
+    for name, entry in report["benches"].items():
+        speedup = entry["speedup_fast_over_reference"]
+        print(f"{name:15s} {entry['program']:10s} "
+              f"ref={entry['engines']['reference']['wall_s'] * 1e3:7.1f}ms "
+              f"fast={entry['engines']['fast']['wall_s'] * 1e3:7.1f}ms "
+              f"speedup={speedup:.2f}x")
+        if (args.min_speedup is not None and entry["bound"] == "memory"
+                and speedup < args.min_speedup):
+            failures.append(f"{name}: {speedup:.2f}x < {args.min_speedup}x")
+    print(f"wrote {args.out}")
+    if failures:
+        print("speedup gate FAILED: " + "; ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
