@@ -175,10 +175,29 @@ class ResultStore:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], key + _SUFFIX)
 
-    def get(self, key: str) -> SimulationResult | None:
+    def _touch(self, key: str) -> None:
+        """Refresh the on-disk entry's LRU clock.
+
+        :meth:`prune` evicts least-recently-*used* entries by file
+        mtime, but a plain read never updates mtime — without this,
+        eviction would silently degrade to FIFO and a hot, repeatedly
+        hit entry would be evicted as if it had never been read again.
+        """
+        if self.directory is None:
+            return
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass  # entry pruned concurrently, or memory-only key
+
+    def _lookup(self, key: str) -> SimulationResult | None:
+        """Memory-then-disk lookup.  Counts hits (and refreshes the
+        entry's LRU clock) but never counts a miss — tiered stores
+        chain lookups across layers before declaring one."""
         result = self._mem.get(key)
         if result is not None:
             self.memory_hits += 1
+            self._touch(key)
             return result
         if self.directory is not None:
             try:
@@ -192,9 +211,15 @@ class ResultStore:
             if isinstance(result, SimulationResult):
                 self._mem[key] = result
                 self.disk_hits += 1
+                self._touch(key)
                 return result
-        self.misses += 1
         return None
+
+    def get(self, key: str) -> SimulationResult | None:
+        result = self._lookup(key)
+        if result is None:
+            self.misses += 1
+        return result
 
     def contains(self, key: str) -> bool:
         """Like :meth:`get` but without counting a hit or a miss."""
@@ -364,6 +389,74 @@ class PruneReport:
                 f"({self.removed_bytes / 1024:.1f} KiB, "
                 f"{self.artifacts_removed} telemetry artifacts); "
                 f"{self.kept} entries / {self.kept_bytes / 1024:.1f} KiB kept")
+
+
+class TieredResultStore(ResultStore):
+    """A local result tier in front of a shared store.
+
+    The cluster worker's store (`docs/serving.md`, "The distributed
+    fabric"): reads check the fast local tier first and fall back to
+    the shared store with **read-through** (a shared hit is promoted
+    into the local tier, so the worker's shard prefixes — which drive
+    content-address-affine job placement — track what it actually
+    serves); writes go to the local tier and are **written back** to
+    the shared store, which is how results reach the coordinator and
+    every other worker.
+
+    Both tiers are plain :class:`ResultStore` layouts, so the shared
+    tier can be any directory all nodes reach (one box, NFS, a fuse
+    mount) and the usual tooling (``cache --stats|--prune``) works on
+    either.  :meth:`prune` and the other maintenance methods operate on
+    the *local* tier only — the shared store is community property and
+    is pruned by its own owner.
+    """
+
+    def __init__(self, directory: str | None,
+                 shared: "ResultStore | str | None" = None) -> None:
+        super().__init__(directory)
+        if isinstance(shared, str):
+            shared = ResultStore(shared)
+        self.shared = shared
+        #: local misses served by the shared tier (read-through hits)
+        self.shared_hits = 0
+
+    def get(self, key: str) -> SimulationResult | None:
+        result = self._lookup(key)
+        if result is not None:
+            return result
+        if self.shared is not None:
+            result = self.shared._lookup(key)
+            if result is not None:
+                self.shared_hits += 1
+                super().put(key, result)  # promote into the local tier
+                return result
+        self.misses += 1
+        return None
+
+    def contains(self, key: str) -> bool:
+        if super().contains(key):
+            return True
+        return self.shared is not None and self.shared.contains(key)
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        super().put(key, result)
+        if self.shared is not None:
+            self.shared.put(key, result)
+
+    def shard_prefixes(self) -> list[str]:
+        """The local tier's populated shard prefixes (``key[:2]``).
+
+        This is what a worker advertises to the coordinator: jobs whose
+        content address falls in an advertised shard are preferentially
+        routed here, because their neighbours (same config sweep, same
+        program family) are statistically already local.
+        """
+        if self.directory is None or not os.path.isdir(self.directory):
+            return []
+        return sorted(
+            shard for shard in os.listdir(self.directory)
+            if len(shard) == 2 and shard != "telemetry"
+            and os.path.isdir(os.path.join(self.directory, shard)))
 
 
 # ----------------------------------------------------------------------

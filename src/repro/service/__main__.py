@@ -1,9 +1,12 @@
-"""Entry point: ``python -m repro.service serve|loadgen``.
+"""Entry point: ``python -m repro.service serve|coordinator|worker|loadgen``.
 
-``serve`` runs the HTTP job server in the foreground until SIGINT or
-SIGTERM, then drains gracefully (running jobs finish, queued jobs are
-rejected, worker processes are reaped).  ``loadgen`` forwards to
-:mod:`repro.service.loadgen`.
+``serve`` runs the single-box HTTP job server in the foreground until
+SIGINT or SIGTERM, then drains gracefully (running jobs finish, queued
+jobs are rejected, worker processes are reaped).  ``coordinator`` and
+``worker`` run the two halves of the distributed fabric
+(:mod:`repro.service.cluster`): the coordinator fronts the same job
+API without executing anything, workers register against it and pull
+jobs.  ``loadgen`` forwards to :mod:`repro.service.loadgen`.
 """
 
 from __future__ import annotations
@@ -51,16 +54,83 @@ def serve_main(argv=None) -> int:
         queue_limit=args.queue_limit, job_timeout=args.timeout,
         max_retries=args.retries, cache_dir=cache_dir,
         engine=args.engine)
+    banner = (f"workers={service.workers}, "
+              f"queue_limit={service.queue_limit}, "
+              f"cache={service.store.directory or 'memory-only'}")
+    return _run_foreground(service, banner)
 
+
+def coordinator_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service coordinator",
+        description="run the cluster coordinator (no local execution; "
+                    "workers pull jobs and deliver results through the "
+                    "shared store)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="0 = pick a free port (printed on startup)")
+    parser.add_argument("--queue-limit", type=int, default=256,
+                        help="max outstanding executions (pending + "
+                             "leased) before 429")
+    parser.add_argument("--lease-ttl", type=float, default=15.0,
+                        help="seconds a worker may hold a job without "
+                             "renewing before it is requeued")
+    parser.add_argument("--max-requeues", type=int, default=2,
+                        help="requeues after lease expiry before a job "
+                             "fails")
+    parser.add_argument("--cache-dir", type=str, default="",
+                        help="shared result store all workers write "
+                             "back to (default: $REPRO_CACHE_DIR or "
+                             ".simcache)")
+    args = parser.parse_args(argv)
+
+    from repro.service.cluster import Coordinator
+    service = Coordinator(
+        host=args.host, port=args.port, queue_limit=args.queue_limit,
+        lease_ttl=args.lease_ttl, max_requeues=args.max_requeues,
+        cache_dir=args.cache_dir or default_cache_dir())
+    banner = (f"queue_limit={service.queue_limit}, "
+              f"lease_ttl={service.lease_ttl}s, "
+              f"shared_cache={service.store.directory}")
+    return _run_foreground(service, banner)
+
+
+def worker_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service worker",
+        description="run one cluster worker agent")
+    parser.add_argument("--coordinator", default="http://127.0.0.1:8321",
+                        help="coordinator address (http://host:port)")
+    parser.add_argument("--name", default=None,
+                        help="worker name (default: host:pid)")
+    parser.add_argument("--slots", type=int, default=1,
+                        help="concurrent executions this worker offers")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="local store tier (default: "
+                             ".simcache-<name>)")
+    parser.add_argument("--shared-cache", type=str, default=None,
+                        help="shared store tier (default: the path the "
+                             "coordinator advertises at registration)")
+    parser.add_argument("--engine", choices=("reference", "fast"),
+                        default=None,
+                        help="execution engine for every job")
+    args = parser.parse_args(argv)
+
+    from repro.service.cluster import WorkerAgent
+    agent = WorkerAgent(args.coordinator, name=args.name,
+                        slots=args.slots, cache_dir=args.cache_dir,
+                        shared_dir=args.shared_cache, engine=args.engine)
+    return agent.run()
+
+
+def _run_foreground(service, banner: str) -> int:
+    """Serve in the foreground with startup/drain progress lines."""
     import asyncio
 
     async def _serve() -> None:
         await service.start()
         print(f"repro.service: serving on "
-              f"http://{service.host}:{service.port} "
-              f"(workers={service.workers}, "
-              f"queue_limit={service.queue_limit}, "
-              f"cache={service.store.directory or 'memory-only'})",
+              f"http://{service.host}:{service.port} ({banner})",
               flush=True)
         try:
             await service._stop_requested.wait()
@@ -77,15 +147,23 @@ def serve_main(argv=None) -> int:
     return 0
 
 
+_COMMANDS = ("serve", "coordinator", "worker", "loadgen")
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
-    if not argv or argv[0] not in ("serve", "loadgen"):
-        print("usage: python -m repro.service serve|loadgen [options]\n"
+    if not argv or argv[0] not in _COMMANDS:
+        print("usage: python -m repro.service "
+              "serve|coordinator|worker|loadgen [options]\n"
               "       (--help after the subcommand for its options)",
               file=sys.stderr)
         return 2
     if argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv[0] == "coordinator":
+        return coordinator_main(argv[1:])
+    if argv[0] == "worker":
+        return worker_main(argv[1:])
     from repro.service.loadgen import main as loadgen_main
     return loadgen_main(argv[1:])
 

@@ -116,7 +116,12 @@ class ServiceClient:
         """Yield the job's event stream (blocks until terminal state).
 
         Reads the chunked ``/events`` endpoint; ``http.client``
-        de-chunks transparently, so each line is one JSON event.
+        de-chunks transparently, so each line is one JSON event.  The
+        server only closes the stream after emitting a terminal event
+        (``done``/``failed``/``rejected``), so an EOF *before* one is a
+        dropped connection, not a completed stream — it raises
+        :class:`ServiceError` instead of silently ending the generator
+        exactly like a clean close would.
         """
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
@@ -128,13 +133,27 @@ class ServiceClient:
                 raise ServiceError(f"events({job_id}) -> "
                                    f"{response.status}: {body}",
                                    status=response.status)
+            terminal_seen = False
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except (OSError, http.client.HTTPException) as exc:
+                    raise ServiceError(
+                        f"events({job_id}) stream dropped mid-flight: "
+                        f"{exc}") from exc
                 if not line:
-                    return
+                    break
                 line = line.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("event") in TERMINAL_STATES:
+                    terminal_seen = True
+                yield event
+            if not terminal_seen:
+                raise ServiceError(
+                    f"events({job_id}) stream truncated before a "
+                    f"terminal event (connection dropped?)")
         finally:
             conn.close()
 
@@ -153,9 +172,25 @@ class ServiceClient:
             time.sleep(poll)
 
     def submit_and_wait(self, jobs, timeout: float = 120.0) -> list[dict]:
-        """Submit a batch and block until every job is terminal."""
+        """Submit a batch and block until every job is terminal.
+
+        ``timeout`` is one shared deadline for the *whole batch*, not a
+        per-job allowance — waiting on N jobs sequentially can never
+        block for N × timeout.  (The jobs run concurrently server-side,
+        so waiting for the first consumes most of the batch's wall
+        time; a per-job budget would multiply it.)
+        """
         records = self.submit(jobs)
-        return [self.wait(r["id"], timeout=timeout) for r in records]
+        deadline = time.monotonic() + timeout
+        finished = []
+        for record in records:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"batch deadline exceeded after {timeout:.0f}s with "
+                    f"{len(records) - len(finished)} jobs still pending")
+            finished.append(self.wait(record["id"], timeout=remaining))
+        return finished
 
     def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> dict:
         """Block until ``/healthz`` answers (server warm-up)."""
@@ -167,3 +202,42 @@ class ServiceClient:
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(poll)
+
+
+class ClusterClient(ServiceClient):
+    """The worker side of the coordinator's fabric protocol.
+
+    Same transport as :class:`ServiceClient` (it *is* one — a worker
+    can also submit and inspect jobs), plus the four worker endpoints:
+    register, lease (also the heartbeat/renewal), complete, deregister.
+    See :mod:`repro.service.cluster.coordinator` for the protocol.
+    """
+
+    def register_worker(self, *, name: str, slots: int = 1,
+                        prefixes=()) -> dict:
+        return self._json("POST", "/v1/workers/register",
+                          {"name": name, "slots": slots,
+                           "prefixes": list(prefixes)})
+
+    def lease(self, worker_id: str, *, prefixes=(), max_jobs: int = 1,
+              wait: float = 0.0, slots: int | None = None) -> dict:
+        payload = {"prefixes": list(prefixes), "max": max_jobs,
+                   "wait": wait}
+        if slots is not None:
+            payload["slots"] = slots
+        return self._json("POST", f"/v1/workers/{worker_id}/lease",
+                          payload)
+
+    def complete(self, worker_id: str, key: str, *, ok: bool,
+                 error: str | None = None,
+                 busy_seconds: float = 0.0) -> dict:
+        payload: dict = {"key": key, "ok": ok,
+                         "busy_seconds": busy_seconds}
+        if error is not None:
+            payload["error"] = error
+        return self._json("POST", f"/v1/workers/{worker_id}/complete",
+                          payload)
+
+    def deregister(self, worker_id: str) -> dict:
+        return self._json("POST", f"/v1/workers/{worker_id}/deregister",
+                          {})

@@ -1,0 +1,18 @@
+"""The distributed campaign fabric: coordinator/worker serving.
+
+One coordinator fronts the same client job API as the single-box
+server (`src/repro/service/server.py`); many worker agents pull jobs
+over HTTP with content-address-affine work-stealing, execute them
+through the campaign machinery, and push results through tiered
+stores (local tier → shared store) back to the coordinator.  Dedup,
+coalescing and admission control all generalise cluster-wide because
+every node speaks the same ``result_key`` content addresses.
+
+See ``docs/serving.md`` ("The distributed fabric") for the topology,
+the lease/requeue protocol and the store tiering.
+"""
+
+from repro.service.cluster.coordinator import Coordinator
+from repro.service.cluster.worker import WorkerAgent, parse_coordinator
+
+__all__ = ["Coordinator", "WorkerAgent", "parse_coordinator"]

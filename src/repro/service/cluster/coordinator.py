@@ -1,0 +1,460 @@
+"""The cluster coordinator: many-node serving behind one job API.
+
+``python -m repro.service coordinator`` fronts the exact client API of
+the single-box server (``POST /v1/jobs`` and friends — see
+:mod:`repro.service.frontend`), but executes nothing itself: registered
+workers (:mod:`repro.service.cluster.worker`) pull jobs over HTTP,
+execute them through the campaign machinery, push results into the
+shared :class:`~repro.experiments.cache.ResultStore`, and report back.
+Because every topology shares the same ``result_key`` content
+addresses and the same store, dedup is *cluster-wide*: N workers
+serving a duplicate-heavy stream run each unique simulation exactly
+once, and every digest is bit-identical to a single-node run.
+
+The worker protocol (all JSON over POST):
+
+* ``/v1/workers/register`` ``{name, slots, prefixes}`` →
+  ``{worker_id, lease_ttl, shared_cache_dir}``
+* ``/v1/workers/<id>/lease`` ``{prefixes, max, wait}`` → up to ``max``
+  granted jobs ``{key, job_id, payload, attempt}``.  Also the
+  heartbeat: every call renews the worker's held leases (``max: 0`` is
+  a pure renewal).  With ``wait > 0`` the call long-polls until work
+  arrives or the wait expires.
+* ``/v1/workers/<id>/complete`` ``{key, ok, error?, busy_seconds?}`` —
+  on success the coordinator reads the result back from the shared
+  store (the worker wrote it there first; results never ride this
+  request) and completes the job plus everything coalesced onto it.
+* ``/v1/workers/<id>/deregister`` — graceful exit: the worker's held
+  leases are requeued immediately instead of waiting for expiry.
+
+Placement is **work-stealing with content-address affinity**: a worker
+advertises the shard prefixes (``key[:2]``) its local cache tier
+holds, and the grant loop prefers pending jobs inside those shards —
+jobs whose cache neighbours the worker already serves — before
+stealing arbitrary work.  Affinity is a preference, never a
+constraint, so no job waits for a "right" worker.
+
+Fault model: every grant carries a **lease**.  A worker that stops
+renewing (killed mid-job, wedged, partitioned) has its leases expire;
+the reaper requeues the job (``attempts`` + a ``requeued`` event) up
+to ``max_requeues`` times, then fails it.  Store writes are atomic, so
+a worker killed mid-execution leaves no torn entry — the requeued
+execution is deterministic and produces the identical result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.cache import ResultStore, default_cache_dir
+from repro.service.frontend import JobFrontendBase
+from repro.service.jobs import Job
+
+__all__ = ["Coordinator"]
+
+#: coordinator-specific counters, pre-seeded so they render as zero
+_CLUSTER_COUNTERS = (
+    "workers_registered", "workers_lost", "leases_granted",
+    "leases_expired", "requeues", "affinity_hits", "affinity_misses",
+    "stale_completions",
+)
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker, as the coordinator sees it."""
+
+    id: str
+    name: str
+    slots: int
+    prefixes: frozenset[str] = frozenset()
+    last_seen: float = 0.0
+    held: set[str] = field(default_factory=set)
+
+    def as_json(self) -> dict:
+        return {"id": self.id, "name": self.name, "slots": self.slots,
+                "held": sorted(self.held),
+                "prefixes": len(self.prefixes)}
+
+
+@dataclass
+class PendingJob:
+    """One execution waiting for (or held by) a worker."""
+
+    key: str
+    payload: dict
+    job: Job
+    attempts: int = 0
+
+
+@dataclass
+class Lease:
+    """A grant of one pending job to one worker, with an expiry."""
+
+    pending: PendingJob
+    worker_id: str
+    deadline: float
+
+
+class Coordinator(JobFrontendBase):
+    """Cluster front end: admission, placement, leases, completion."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 8321,
+                 queue_limit: int = 256, lease_ttl: float = 15.0,
+                 max_requeues: int = 2, cache_dir: str | None = "",
+                 store: ResultStore | None = None,
+                 drain_grace: float | None = None) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        if store is None:
+            directory = (default_cache_dir() if cache_dir == ""
+                         else cache_dir)
+            if directory is None:
+                raise ValueError(
+                    "the coordinator needs an on-disk store: workers "
+                    "deliver results through it")
+            store = ResultStore(directory)
+        if store.directory is None:
+            raise ValueError("the coordinator needs an on-disk store")
+        super().__init__(host=host, port=port, queue_limit=queue_limit,
+                         store=store)
+        self.lease_ttl = lease_ttl
+        self.max_requeues = max_requeues
+        #: how long a drain waits for leased jobs before giving up on
+        #: them (default: one lease expiry + one requeue-free margin)
+        self.drain_grace = (drain_grace if drain_grace is not None
+                            else lease_ttl * 1.5)
+        self.workers: dict[str, WorkerInfo] = {}
+        self._worker_seq = 0
+        self._pending: dict[str, PendingJob] = {}  # insertion-ordered
+        self._leased: dict[str, Lease] = {}
+        self._work_available: asyncio.Event | None = None
+        self._reaper: asyncio.Task | None = None
+        for name in _CLUSTER_COUNTERS:
+            self.metrics.counters.setdefault(name, 0)
+        self.metrics.gauges.update({
+            "pending": lambda: len(self._pending),
+            "leased": lambda: len(self._leased),
+            "workers_live": lambda: len(self.workers),
+            "cluster_slots": self._total_slots,
+            "queue_limit": lambda: self.queue_limit,
+            "draining": lambda: self.draining,
+        })
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def _on_start(self) -> None:
+        self._work_available = asyncio.Event()
+        self._reaper = asyncio.create_task(self._reaper_loop(),
+                                           name="coordinator-reaper")
+
+    async def _on_drain(self) -> None:
+        """Stop admission, reject pending jobs, wait for leased ones.
+
+        Mirrors the single-box drain: queued (unleased) work is
+        rejected with its followers; work a worker already holds gets
+        ``drain_grace`` seconds to complete — the socket stays open
+        underneath us, so ``complete`` requests still land.  Leases
+        that expire during the grace window are rejected, not
+        requeued.
+        """
+        self.draining = True
+        for pending in list(self._pending.values()):
+            self._pending.pop(pending.key, None)
+            dropped = self._reject_with_followers(pending.job,
+                                                  "server draining")
+            self.metrics.inc("jobs_dropped_on_drain", dropped)
+        deadline = time.monotonic() + self.drain_grace
+        while self._leased and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        for lease in list(self._leased.values()):
+            self._leased.pop(lease.pending.key, None)
+            dropped = self._reject_with_followers(
+                lease.pending.job, "server draining (lease abandoned)")
+            self.metrics.inc("jobs_dropped_on_drain", dropped)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+
+    # --------------------------------------------------------- reaper/leases
+
+    async def _reaper_loop(self) -> None:
+        period = max(0.05, min(1.0, self.lease_ttl / 4))
+        while True:
+            await asyncio.sleep(period)
+            now = time.monotonic()
+            for key, lease in list(self._leased.items()):
+                if lease.deadline <= now:
+                    self._expire_lease(key, lease)
+            # forget workers that stopped heartbeating and hold nothing
+            # (their leases expired above); their jobs moved on already
+            horizon = now - 3 * self.lease_ttl
+            for wid, worker in list(self.workers.items()):
+                if worker.last_seen < horizon and not worker.held:
+                    del self.workers[wid]
+                    self.metrics.inc("workers_lost")
+
+    def _expire_lease(self, key: str, lease: Lease) -> None:
+        self._leased.pop(key, None)
+        worker = self.workers.get(lease.worker_id)
+        if worker is not None:
+            worker.held.discard(key)
+        self.metrics.inc("leases_expired")
+        self._requeue(lease.pending, reason="lease expired",
+                      worker=lease.worker_id)
+
+    def _requeue(self, pending: PendingJob, *, reason: str,
+                 worker: str) -> None:
+        if self.draining:
+            dropped = self._reject_with_followers(pending.job,
+                                                  "server draining")
+            self.metrics.inc("jobs_dropped_on_drain", dropped)
+            return
+        # The worker may have finished the write before dying — or a
+        # sibling may have raced it there.  A store hit makes the
+        # requeue free and keeps "one execution per unique key"
+        # observable in the digests.
+        result = self.store.get(pending.key)
+        if result is not None:
+            self.metrics.inc("simulations")
+            self._finish_done(pending.job, result)
+            return
+        if pending.attempts > self.max_requeues:
+            self._finish_failed(
+                pending.job,
+                f"{reason} after {pending.attempts} attempts "
+                f"(last worker: {worker})")
+            return
+        self.metrics.inc("requeues")
+        pending.job.set_state("queued", requeued=True, reason=reason,
+                              worker=worker)
+        self._pending[pending.key] = pending
+        self._work_available.set()
+
+    # ----------------------------------------------------- frontend hooks
+
+    def _dispatch(self, job: Job) -> None:
+        pending = PendingJob(key=job.spec.key, payload=job.payload or {},
+                             job=job)
+        job.enqueued_at = time.perf_counter()
+        job.add_event("queued")
+        self._pending[pending.key] = pending
+        if self._work_available is not None:
+            self._work_available.set()
+
+    def _outstanding(self) -> int:
+        return len(self._pending) + len(self._leased)
+
+    def _total_slots(self) -> int:
+        return sum(worker.slots for worker in self.workers.values())
+
+    def _retry_after(self) -> float:
+        """Backoff estimate that propagates *cluster* capacity.
+
+        The denominator is the workers' aggregate slot count and the
+        per-job cost is the measured mean execution latency they
+        reported — so admission pressure on the worker side surfaces
+        to the client as a proportionally longer ``Retry-After``
+        instead of a flat constant.  May be fractional: a cluster
+        draining its backlog in under a second deserves a sub-second
+        retry hint.
+        """
+        execute = self.metrics.stage_latency["execute"]
+        per_job = execute.mean if execute.count else 1.0
+        slots = max(1, self._total_slots())
+        estimate = per_job * max(1, self._outstanding()) / slots
+        return max(0.05, round(estimate, 3))
+
+    def _health_extra(self) -> dict:
+        return {
+            "pending": len(self._pending),
+            "leased": len(self._leased),
+            "workers": [w.as_json()
+                        for w in sorted(self.workers.values(),
+                                        key=lambda w: w.id)],
+            "cluster_slots": self._total_slots(),
+            "lease_ttl": self.lease_ttl,
+        }
+
+    # ------------------------------------------------------- worker protocol
+
+    def _register_worker(self, body: dict) -> dict:
+        self._worker_seq += 1
+        worker = WorkerInfo(
+            id=f"w{self._worker_seq:04d}",
+            name=str(body.get("name") or f"worker-{self._worker_seq}"),
+            slots=max(1, int(body.get("slots", 1))),
+            prefixes=frozenset(body.get("prefixes") or ()),
+            last_seen=time.monotonic())
+        self.workers[worker.id] = worker
+        self.metrics.inc("workers_registered")
+        return {"worker_id": worker.id, "lease_ttl": self.lease_ttl,
+                "shared_cache_dir": self.store.directory,
+                "draining": self.draining}
+
+    def _renew_leases(self, worker: WorkerInfo) -> None:
+        deadline = time.monotonic() + self.lease_ttl
+        for key in worker.held:
+            lease = self._leased.get(key)
+            if lease is not None and lease.worker_id == worker.id:
+                lease.deadline = deadline
+
+    def _take_jobs(self, worker: WorkerInfo, max_jobs: int) -> list[dict]:
+        """Grant up to ``max_jobs`` pending jobs to ``worker``,
+        affinity-first, FIFO within each class."""
+        granted: list[dict] = []
+        deadline = time.monotonic() + self.lease_ttl
+        while len(granted) < max_jobs and self._pending:
+            key = None
+            if worker.prefixes:
+                for candidate in self._pending:
+                    if candidate[:2] in worker.prefixes:
+                        key = candidate
+                        break
+            if key is not None:
+                self.metrics.inc("affinity_hits")
+            else:
+                key = next(iter(self._pending))
+                self.metrics.inc("affinity_misses")
+            pending = self._pending.pop(key)
+            pending.attempts += 1
+            self._leased[key] = Lease(pending=pending, worker_id=worker.id,
+                                      deadline=deadline)
+            worker.held.add(key)
+            self.metrics.inc("leases_granted")
+            self.metrics.observe(
+                "queue_wait", time.perf_counter() - pending.job.enqueued_at)
+            pending.job.attempts = pending.attempts
+            pending.job.started_at = time.time()
+            pending.job.set_state("running", worker=worker.name,
+                                  attempt=pending.attempts)
+            granted.append({"key": key, "job_id": pending.job.id,
+                            "payload": pending.payload,
+                            "attempt": pending.attempts})
+        if not self._pending and self._work_available is not None:
+            self._work_available.clear()
+        return granted
+
+    async def _lease_jobs(self, worker: WorkerInfo, body: dict) -> dict:
+        worker.last_seen = time.monotonic()
+        if "prefixes" in body:
+            worker.prefixes = frozenset(body.get("prefixes") or ())
+        if "slots" in body:
+            worker.slots = max(1, int(body["slots"]))
+        self._renew_leases(worker)
+        max_jobs = max(0, int(body.get("max", 1)))
+        wait = min(30.0, max(0.0, float(body.get("wait", 0.0))))
+        granted = self._take_jobs(worker, max_jobs) if max_jobs else []
+        if not granted and max_jobs and wait > 0 and not self.draining:
+            try:
+                await asyncio.wait_for(self._work_available.wait(),
+                                       timeout=wait)
+            except asyncio.TimeoutError:
+                pass
+            worker.last_seen = time.monotonic()
+            self._renew_leases(worker)
+            granted = self._take_jobs(worker, max_jobs)
+        return {"jobs": granted, "lease_ttl": self.lease_ttl,
+                "draining": self.draining}
+
+    def _complete_job(self, worker: WorkerInfo, body: dict) -> dict:
+        worker.last_seen = time.monotonic()
+        key = str(body.get("key", ""))
+        worker.held.discard(key)
+        lease = self._leased.get(key)
+        if lease is None or lease.worker_id != worker.id:
+            # The lease expired (and was requeued or re-leased) before
+            # this report arrived.  The work is not wasted: the result
+            # is already in the shared store, and the requeue path
+            # (or the re-leased worker's read-through) serves it.
+            self.metrics.inc("stale_completions")
+            return {"accepted": False, "draining": self.draining}
+        self._leased.pop(key, None)
+        pending = lease.pending
+        if not body.get("ok"):
+            # Worker-side failures are deterministic simulation errors
+            # (bad config reached a worker, version skew) — retrying
+            # elsewhere would fail identically, so fail fast.
+            self._finish_failed(pending.job,
+                                str(body.get("error") or "worker failure"))
+            return {"accepted": True, "draining": self.draining}
+        result = self.store.get(key)
+        if result is None:
+            self._finish_failed(
+                pending.job,
+                f"worker {worker.name} reported success but the shared "
+                f"store has no entry for {key[:12]}…")
+            return {"accepted": True, "draining": self.draining}
+        busy = float(body.get("busy_seconds", 0.0) or 0.0)
+        self.metrics.inc("simulations")
+        self.metrics.worker_busy_seconds += busy
+        self.metrics.observe("execute", busy if busy > 0 else
+                             time.time() - (pending.job.started_at
+                                            or pending.job.created))
+        self._finish_done(pending.job, result)
+        return {"accepted": True, "draining": self.draining}
+
+    def _deregister_worker(self, worker: WorkerInfo) -> dict:
+        requeued = 0
+        for key in list(worker.held):
+            lease = self._leased.get(key)
+            worker.held.discard(key)
+            if lease is None or lease.worker_id != worker.id:
+                continue
+            self._leased.pop(key, None)
+            self._requeue(lease.pending, reason="worker deregistered",
+                          worker=worker.name)
+            requeued += 1
+        self.workers.pop(worker.id, None)
+        return {"requeued": requeued}
+
+    # ------------------------------------------------------------------ HTTP
+
+    async def _route_extra(self, method: str, path: str, body: bytes,
+                           writer: asyncio.StreamWriter) -> bool:
+        if not path.startswith("/v1/workers"):
+            return False
+        if method != "POST":
+            self._write_response(writer, 405,
+                                 {"error": f"{method} not allowed"})
+            return True
+        try:
+            parsed = json.loads(body or b"{}")
+            if not isinstance(parsed, dict):
+                raise ValueError("body must be an object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            self.metrics.inc("bad_requests")
+            self._write_response(writer, 400,
+                                 {"error": f"bad JSON: {exc}"})
+            return True
+        if path == "/v1/workers/register":
+            self._write_response(writer, 200, self._register_worker(parsed))
+            return True
+        parts = path.split("/")  # ['', 'v1', 'workers', wid, action]
+        if len(parts) != 5:
+            self._write_response(writer, 404, {"error": "not found"})
+            return True
+        worker = self.workers.get(parts[3])
+        if worker is None:
+            # the worker restarted or was reaped: tell it to re-register
+            self._write_response(writer, 404, {"error": "unknown worker"})
+            return True
+        action = parts[4]
+        if action == "lease":
+            self._write_response(writer, 200,
+                                 await self._lease_jobs(worker, parsed))
+        elif action == "complete":
+            self._write_response(writer, 200,
+                                 self._complete_job(worker, parsed))
+        elif action == "deregister":
+            self._write_response(writer, 200,
+                                 self._deregister_worker(worker))
+        else:
+            self._write_response(writer, 404, {"error": "not found"})
+        return True

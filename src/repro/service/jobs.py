@@ -228,13 +228,19 @@ def result_to_json(result: SimulationResult) -> dict:
 class Job:
     """Server-side lifecycle record of one submitted job."""
 
-    __slots__ = ("id", "spec", "state", "created", "enqueued_at",
+    __slots__ = ("id", "spec", "payload", "state", "created", "enqueued_at",
                  "started_at", "finished_at", "result", "error", "cached",
                  "coalesced", "attempts", "events", "followers", "_updated")
 
-    def __init__(self, job_id: str, spec: JobSpec) -> None:
+    def __init__(self, job_id: str, spec: JobSpec,
+                 payload: dict | None = None) -> None:
         self.id = job_id
         self.spec = spec
+        #: the raw (validated) request this job was built from.  The
+        #: cluster coordinator ships this to workers, which re-derive
+        #: the spec locally — re-validation on the executing node is
+        #: what catches coordinator/worker version skew.
+        self.payload = payload
         self.state = "queued"
         self.created = time.time()
         self.enqueued_at: float | None = None

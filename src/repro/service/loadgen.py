@@ -41,6 +41,7 @@ class LoadReport:
     offered: int = 0
     completed: int = 0
     rejected: int = 0
+    retried: int = 0
     failed: int = 0
     errors: int = 0
     cached: int = 0
@@ -70,7 +71,8 @@ class LoadReport:
             f"{self.wall_seconds:.1f}s (target {self.target_rps:.1f} rps)",
             f"  completed {self.completed} "
             f"({self.achieved_rps:.2f} done/s), "
-            f"rejected {self.rejected} ({self.rejection_rate:.1%}), "
+            f"rejected {self.rejected} ({self.rejection_rate:.1%}, "
+            f"{self.retried} retried after 429), "
             f"failed {self.failed}, transport errors {self.errors}",
             f"  latency: p50 {p['p50'] * 1e3:.1f}ms  "
             f"p95 {p['p95'] * 1e3:.1f}ms  p99 {p['p99'] * 1e3:.1f}ms  "
@@ -107,9 +109,18 @@ def build_job_mix(seed: int, distinct: int, programs, *,
 def run_load(client: ServiceClient, *, rps: float, duration: float,
              seed: int, measure: int = 1_500, warmup: int = 500,
              distinct: int = 6, programs=None,
-             job_timeout: float = 120.0) -> LoadReport:
+             job_timeout: float = 120.0, retry_429: int = 0,
+             retry_cap: float = 5.0) -> LoadReport:
     """Drive the server and measure it; blocks until every request
-    resolved (completed, rejected or failed)."""
+    resolved (completed, rejected or failed).
+
+    ``retry_429`` > 0 makes each rejected submit honour the server's
+    ``Retry-After`` header (fractional seconds respected, capped at
+    ``retry_cap``) and resubmit up to that many times before counting
+    the request as rejected — the closed-loop behaviour a polite
+    client exhibits, and the path that exercises admission-control
+    backoff end to end.
+    """
     if rps <= 0 or duration <= 0:
         raise ValueError("rps and duration must be positive")
     programs = tuple(programs) if programs else DEFAULT_PROGRAMS
@@ -126,13 +137,29 @@ def run_load(client: ServiceClient, *, rps: float, duration: float,
     lock = threading.Lock()
     epoch = time.perf_counter()
 
+    def submit_with_retry(payload: dict) -> dict:
+        """One submit, honouring Retry-After up to ``retry_429`` times."""
+        attempts = 0
+        while True:
+            try:
+                return client.submit([payload])[0]
+            except QueueFull as exc:
+                if attempts >= retry_429:
+                    raise
+                attempts += 1
+                with lock:
+                    report.retried += 1
+                # Retry-After may be fractional (the coordinator emits
+                # sub-second estimates); never sleep unboundedly long
+                time.sleep(min(max(exc.retry_after, 0.0), retry_cap))
+
     def fire(index: int, payload: dict) -> None:
         wait = epoch + index / rps - time.perf_counter()
         if wait > 0:
             time.sleep(wait)
         started = time.perf_counter()
         try:
-            record = client.submit([payload])[0]
+            record = submit_with_retry(payload)
             record = client.wait(record["id"], timeout=job_timeout)
         except QueueFull:
             with lock:
@@ -188,6 +215,11 @@ def main(argv=None) -> int:
                              f"(default: {','.join(DEFAULT_PROGRAMS)})")
     parser.add_argument("--timeout", type=float, default=120.0,
                         help="per-job completion timeout")
+    parser.add_argument("--retry-429", type=int, default=0,
+                        metavar="N",
+                        help="resubmit a 429-rejected job up to N times, "
+                             "sleeping the server's Retry-After between "
+                             "attempts (default: count it as rejected)")
     args = parser.parse_args(argv)
 
     client = ServiceClient(args.host, args.port, timeout=args.timeout)
@@ -201,7 +233,8 @@ def main(argv=None) -> int:
     report = run_load(client, rps=args.rps, duration=args.duration,
                       seed=args.seed, measure=args.measure,
                       warmup=args.warmup, distinct=args.distinct,
-                      programs=programs, job_timeout=args.timeout)
+                      programs=programs, job_timeout=args.timeout,
+                      retry_429=args.retry_429)
     print(report.render())
     return 0 if report.completed or report.rejected else 1
 

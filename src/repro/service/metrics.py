@@ -38,7 +38,11 @@ class ServiceMetrics:
         self.gauges: dict[str, object] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.counters[name] += amount
+        # auto-vivifying: topology-specific counters (the cluster
+        # coordinator's lease/requeue family) join the exposition on
+        # first increment; the _COUNTERS tuple only pre-seeds the
+        # common ones to zero so they render before first use.
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     def observe(self, stage: str, seconds: float) -> None:
         self.stage_latency[stage].record(seconds)

@@ -1,4 +1,4 @@
-"""The simulation service: a stdlib-only asyncio HTTP job server.
+"""The single-box simulation service: job API over a local pool.
 
 ``python -m repro.service serve`` exposes the simulator as a long-lived
 service.  Jobs arrive as JSON, are validated against :mod:`repro.config`
@@ -8,7 +8,10 @@ service.  Jobs arrive as JSON, are validated against :mod:`repro.config`
 :class:`~repro.experiments.cache.ResultStore` — a job the batch path
 already simulated is a cache hit here, and vice versa.
 
-Endpoints::
+The whole client-facing surface (endpoints, dedup, coalescing, atomic
+admission, event streams) lives in :mod:`repro.service.frontend` and is
+shared with the cluster coordinator (:mod:`repro.service.cluster`);
+this module adds the *local* execution fabric::
 
     POST /v1/jobs             submit one job or {"jobs": [...]} (atomic
                               admission: the whole batch or 429)
@@ -38,37 +41,20 @@ Operational behaviour:
 from __future__ import annotations
 
 import asyncio
-import json
-import signal
-import sys
-import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 
-from repro.experiments.cache import (
-    ResultStore,
-    default_cache_dir,
-    telemetry_dir,
-)
+from repro.experiments.cache import ResultStore, default_cache_dir
 from repro.experiments.parallel import _run_job
-from repro.service.jobs import Job, ValidationError, build_spec
-from repro.service.metrics import ServiceMetrics
-from repro.workloads import PROFILES
+from repro.service.frontend import MAX_JOB_RECORDS, JobFrontendBase
+from repro.service.jobs import Job
 
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-}
-
-#: terminal job records kept for GET /v1/jobs/<id>; oldest are evicted
-#: past this many total records so a long-lived server stays bounded.
-MAX_JOB_RECORDS = 10_000
+__all__ = ["SimulationService", "MAX_JOB_RECORDS"]
 
 
-class SimulationService:
+class SimulationService(JobFrontendBase):
     """One serving process: HTTP front end, bounded queue, worker pool."""
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 8321,
@@ -80,42 +66,20 @@ class SimulationService:
                  engine: str | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if queue_limit < 1:
-            raise ValueError("queue_limit must be >= 1")
-        self.host = host
-        self.port = port  # replaced by the bound port after start()
+        if store is None:
+            directory = (default_cache_dir() if cache_dir == ""
+                         else cache_dir)
+            store = ResultStore(directory)
+        super().__init__(host=host, port=port, queue_limit=queue_limit,
+                         store=store, engine=engine)
         self.workers = workers
-        #: execution engine every admitted job runs on (None = config
-        #: default).  A pure host-speed knob: results, digests and
-        #: store keys are engine-independent, so switching it never
-        #: invalidates the cache or the dedup-by-key path.
-        self.engine = engine
-        self.queue_limit = queue_limit
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
-        if store is not None:
-            self.store = store
-        else:
-            directory = (default_cache_dir() if cache_dir == ""
-                         else cache_dir)
-            self.store = ResultStore(directory)
-        self.metrics = ServiceMetrics()
-        self.draining = False
-        self.jobs: dict[str, Job] = {}
-        self._by_key: dict[str, Job] = {}
-        self._finished_order: list[str] = []
-        self._job_seq = 0
         self._in_flight = 0
         self._queue: asyncio.Queue | None = None
         self._executor: ProcessPoolExecutor | None = None
-        self._server: asyncio.base_events.Server | None = None
         self._worker_tasks: list[asyncio.Task] = []
-        self._stop_requested: asyncio.Event | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._drained = False
-        self._ready = threading.Event()
-        self._startup_error: BaseException | None = None
         self.metrics.gauges.update({
             "queue_depth": lambda: (self._queue.qsize()
                                     if self._queue is not None else 0),
@@ -128,78 +92,16 @@ class SimulationService:
 
     # ------------------------------------------------------------- lifecycle
 
-    async def start(self) -> None:
-        """Bind the socket, spin up the worker pool, install handlers."""
-        self._loop = asyncio.get_running_loop()
+    async def _on_start(self) -> None:
+        """Spin up the worker pool and its feeder tasks."""
         self._queue = asyncio.Queue()
-        self._stop_requested = asyncio.Event()
         self._executor = ProcessPoolExecutor(max_workers=self.workers)
         self._worker_tasks = [
             asyncio.create_task(self._worker_loop(), name=f"svc-worker-{i}")
             for i in range(self.workers)]
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port)
-        self.port = self._server.sockets[0].getsockname()[1]
-        self._install_signal_handlers()
-        self._ready.set()
 
-    async def run_async(self) -> None:
-        """Serve until a stop is requested, then drain and return."""
-        try:
-            await self.start()
-        except BaseException as exc:
-            self._startup_error = exc
-            self._ready.set()
-            raise
-        try:
-            await self._stop_requested.wait()
-        finally:
-            await self.drain()
-            self._loop = None
-
-    def run(self) -> None:
-        """Blocking entry point (``python -m repro.service serve``)."""
-        asyncio.run(self.run_async())
-
-    def start_in_thread(self) -> threading.Thread:
-        """Run the service on a daemon thread (tests, embedding)."""
-        thread = threading.Thread(target=self._run_quietly,
-                                  name="repro-service", daemon=True)
-        thread.start()
-        if not self._ready.wait(timeout=60):
-            raise RuntimeError("service did not start within 60s")
-        if self._startup_error is not None:
-            raise RuntimeError(
-                f"service failed to start: {self._startup_error}")
-        return thread
-
-    def _run_quietly(self) -> None:
-        try:
-            self.run()
-        except BaseException:
-            # run_async already recorded the startup error; a crash
-            # after startup surfaces through the joined thread's logs
-            pass
-
-    def request_stop(self) -> None:
-        """Thread-safe stop signal: begin the graceful drain."""
-        loop = self._loop
-        if loop is not None and self._stop_requested is not None:
-            loop.call_soon_threadsafe(self._stop_requested.set)
-
-    def _install_signal_handlers(self) -> None:
-        loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, self._stop_requested.set)
-            except (NotImplementedError, RuntimeError, ValueError):
-                return  # not the main thread: embedder owns signals
-
-    async def drain(self) -> None:
+    async def _on_drain(self) -> None:
         """Reject queued jobs, finish running ones, reap the workers."""
-        if self._drained:
-            return
-        self._drained = True
         self.draining = True
         while True:
             try:
@@ -208,12 +110,8 @@ class SimulationService:
                 break
             if job is None:
                 continue
-            self._by_key.pop(job.spec.key, None)
-            casualties = [job] + job.followers
-            for casualty in casualties:
-                casualty.finish_rejected("server draining")
-                self._remember_finished(casualty)
-            self.metrics.inc("jobs_dropped_on_drain", len(casualties))
+            dropped = self._reject_with_followers(job, "server draining")
+            self.metrics.inc("jobs_dropped_on_drain", dropped)
         for __ in self._worker_tasks:
             self._queue.put_nowait(None)
         if self._worker_tasks:
@@ -221,9 +119,6 @@ class SimulationService:
                                  return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
 
     # ------------------------------------------------------------- execution
 
@@ -299,35 +194,6 @@ class SimulationService:
                 if proc.is_alive():
                     proc.terminate()
 
-    def _finish_done(self, job: Job, result, *, cached: bool = False) -> None:
-        if self._by_key.get(job.spec.key) is job:
-            del self._by_key[job.spec.key]
-        job.finish_done(result, cached=cached)
-        self.metrics.observe("total", time.time() - job.created)
-        self.metrics.inc("jobs_completed")
-        self._remember_finished(job)
-        for follower in job.followers:
-            follower.finish_done(result, coalesced=True)
-            self.metrics.observe("total", time.time() - follower.created)
-            self.metrics.inc("jobs_completed")
-            self._remember_finished(follower)
-
-    def _finish_failed(self, job: Job, error: str) -> None:
-        if self._by_key.get(job.spec.key) is job:
-            del self._by_key[job.spec.key]
-        job.finish_failed(error)
-        self.metrics.inc("jobs_failed")
-        self._remember_finished(job)
-        for follower in job.followers:
-            follower.finish_failed(error)
-            self.metrics.inc("jobs_failed")
-            self._remember_finished(follower)
-
-    def _remember_finished(self, job: Job) -> None:
-        self._finished_order.append(job.id)
-        while len(self.jobs) > MAX_JOB_RECORDS and self._finished_order:
-            self.jobs.pop(self._finished_order.pop(0), None)
-
     def _worker_utilisation(self) -> float:
         elapsed = time.time() - self.metrics.started
         if elapsed <= 0:
@@ -335,243 +201,26 @@ class SimulationService:
         return min(1.0, self.metrics.worker_busy_seconds
                    / (elapsed * self.workers))
 
-    # ------------------------------------------------------------ submission
+    # ----------------------------------------------------- frontend hooks
 
-    def _new_job(self, spec) -> Job:
-        self._job_seq += 1
-        job = Job(f"j{self._job_seq:06d}", spec)
-        self.jobs[job.id] = job
-        return job
-
-    def _retry_after(self) -> int:
-        """Seconds until a queue slot plausibly frees up."""
-        execute = self.metrics.stage_latency["execute"]
-        per_job = execute.mean if execute.count else 1.0
-        outstanding = self._queue.qsize() + self._in_flight
-        estimate = per_job * max(1, outstanding) / self.workers
-        return max(1, int(estimate + 0.999))
-
-    def submit_batch(self, payloads: list[dict]) -> tuple[int, dict, dict]:
-        """Admit (or reject) one batch; returns (status, headers, body)."""
-        started = perf_counter()
-        if self.draining:
-            return 503, {}, {"error": "server draining"}
-        if not payloads:
-            return 400, {}, {"errors": [{"error": "empty batch"}]}
-        tdir = telemetry_dir(self.store)
-        specs = []
-        errors = []
-        for index, payload in enumerate(payloads):
-            try:
-                specs.append(build_spec(payload, telemetry_dir=tdir,
-                                        engine=self.engine))
-            except ValidationError as exc:
-                errors.append({"index": index, "error": str(exc)})
-        if errors:
-            self.metrics.inc("bad_requests")
-            return 400, {}, {"errors": errors}
-        self.metrics.observe("validate", perf_counter() - started)
-
-        # Atomic admission: count distinct executions this batch needs
-        # (cache hits and coalesced duplicates are free), then either
-        # admit everything or reject the whole request with 429.
-        needed = set()
-        for spec in specs:
-            primary = self._by_key.get(spec.key)
-            if primary is not None and not primary.terminal:
-                continue
-            if self.store.contains(spec.key):
-                continue
-            needed.add(spec.key)
-        outstanding = self._queue.qsize() + self._in_flight
-        if needed and outstanding + len(needed) > self.queue_limit:
-            self.metrics.inc("jobs_rejected", len(payloads))
-            retry_after = self._retry_after()
-            return (429, {"Retry-After": str(retry_after)},
-                    {"error": "queue full",
-                     "outstanding": outstanding,
-                     "queue_limit": self.queue_limit,
-                     "retry_after": retry_after})
-
-        self.metrics.inc("jobs_submitted", len(payloads))
-        batch = []
-        for spec in specs:
-            job = self._new_job(spec)
-            primary = self._by_key.get(spec.key)
-            if primary is not None and not primary.terminal:
-                job.coalesced = True
-                job.add_event("queued", coalesced_into=primary.id)
-                primary.followers.append(job)
-                self.metrics.inc("coalesced")
-            elif self.store.contains(spec.key):
-                result = self.store.get(spec.key)
-                if result is not None:
-                    self.metrics.inc("cache_hits")
-                    self._finish_done(job, result, cached=True)
-                else:  # entry vanished between contains() and get()
-                    self._enqueue(job)
-            else:
-                self._enqueue(job)
-            batch.append(job.as_json(include_result=False))
-        return 200, {}, {"jobs": batch}
-
-    def _enqueue(self, job: Job) -> None:
-        self._by_key[job.spec.key] = job
+    def _dispatch(self, job: Job) -> None:
         job.enqueued_at = perf_counter()
         job.add_event("queued")
         self._queue.put_nowait(job)
 
-    # ------------------------------------------------------------------ HTTP
+    def _outstanding(self) -> int:
+        return self._queue.qsize() + self._in_flight
 
-    async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
-        try:
-            try:
-                method, path, headers, body = await self._read_request(reader)
-            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
-                    ValueError, ConnectionError):
-                return
-            self.metrics.inc("requests")
-            await self._route(method, path, body, writer)
-        except (ConnectionError, asyncio.CancelledError):
-            pass
-        except Exception as exc:
-            try:
-                self._write_response(writer, 500,
-                                     {"error": f"internal: {exc}"})
-                await writer.drain()
-            except Exception:
-                pass
-            print(f"service: request handler error: {exc!r}",
-                  file=sys.stderr)
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except Exception:
-                pass
+    def _retry_after(self) -> float:
+        """Seconds until a queue slot plausibly frees up."""
+        execute = self.metrics.stage_latency["execute"]
+        per_job = execute.mean if execute.count else 1.0
+        estimate = per_job * max(1, self._outstanding()) / self.workers
+        return max(1, int(estimate + 0.999))
 
-    @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
-        request_line = await asyncio.wait_for(reader.readline(), timeout=30)
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            raise ValueError("malformed request line")
-        method, target = parts[0].upper(), parts[1]
-        headers: dict[str, str] = {}
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout=30)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, __, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        body = await reader.readexactly(length) if length else b""
-        return method, target.split("?", 1)[0], headers, body
-
-    def _write_response(self, writer: asyncio.StreamWriter, status: int,
-                        body: dict | str, *,
-                        extra_headers: dict | None = None) -> None:
-        if isinstance(body, str):
-            payload = body.encode("utf-8")
-            content_type = "text/plain; charset=utf-8"
-        else:
-            payload = (json.dumps(body, sort_keys=True) + "\n").encode()
-            content_type = "application/json"
-        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-                f"Content-Type: {content_type}",
-                f"Content-Length: {len(payload)}",
-                "Connection: close"]
-        for name, value in (extra_headers or {}).items():
-            head.append(f"{name}: {value}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
-
-    async def _route(self, method: str, path: str, body: bytes,
-                     writer: asyncio.StreamWriter) -> None:
-        if path == "/healthz" and method == "GET":
-            self._write_response(writer, 200, self._health())
-        elif path == "/metrics" and method == "GET":
-            self._write_response(writer, 200, self.metrics.render())
-        elif path == "/v1/programs" and method == "GET":
-            self._write_response(writer, 200,
-                                 {"programs": sorted(PROFILES)})
-        elif path == "/v1/jobs" and method == "POST":
-            try:
-                parsed = json.loads(body or b"null")
-            except json.JSONDecodeError as exc:
-                self.metrics.inc("bad_requests")
-                self._write_response(writer, 400,
-                                     {"errors": [{"error": f"bad JSON: {exc}"}]})
-                await writer.drain()
-                return
-            if isinstance(parsed, dict) and "jobs" in parsed:
-                payloads = parsed["jobs"]
-                if not isinstance(payloads, list):
-                    payloads = [payloads]
-            elif isinstance(parsed, dict):
-                payloads = [parsed]
-            else:
-                payloads = []
-            status, headers, response = self.submit_batch(payloads)
-            self._write_response(writer, status, response,
-                                 extra_headers=headers)
-        elif path.startswith("/v1/jobs/") and method == "GET":
-            rest = path[len("/v1/jobs/"):]
-            if rest.endswith("/events"):
-                job = self.jobs.get(rest[:-len("/events")])
-                if job is None:
-                    self._write_response(writer, 404,
-                                         {"error": "no such job"})
-                else:
-                    await self._stream_events(writer, job)
-                    return
-            else:
-                job = self.jobs.get(rest)
-                if job is None:
-                    self._write_response(writer, 404,
-                                         {"error": "no such job"})
-                else:
-                    self._write_response(writer, 200, job.as_json())
-        elif path in ("/healthz", "/metrics", "/v1/jobs", "/v1/programs"):
-            self._write_response(writer, 405,
-                                 {"error": f"{method} not allowed"})
-        else:
-            self._write_response(writer, 404, {"error": "not found"})
-        await writer.drain()
-
-    def _health(self) -> dict:
-        states: dict[str, int] = {}
-        for job in self.jobs.values():
-            states[job.state] = states.get(job.state, 0) + 1
+    def _health_extra(self) -> dict:
         return {
-            "status": "draining" if self.draining else "ok",
             "queue_depth": self._queue.qsize() if self._queue else 0,
             "in_flight": self._in_flight,
-            "queue_limit": self.queue_limit,
             "workers": self.workers,
-            "jobs": states,
-            "uptime_seconds": round(time.time() - self.metrics.started, 3),
-            "cache_dir": self.store.directory,
         }
-
-    async def _stream_events(self, writer: asyncio.StreamWriter,
-                             job: Job) -> None:
-        """Chunked NDJSON: one line per job event, until terminal."""
-        writer.write(b"HTTP/1.1 200 OK\r\n"
-                     b"Content-Type: application/x-ndjson\r\n"
-                     b"Transfer-Encoding: chunked\r\n"
-                     b"Cache-Control: no-store\r\n"
-                     b"Connection: close\r\n\r\n")
-        sent = 0
-        while True:
-            while sent < len(job.events):
-                data = (json.dumps(job.events[sent], sort_keys=True)
-                        + "\n").encode()
-                writer.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
-                sent += 1
-            await writer.drain()
-            if job.terminal:
-                break
-            await job.wait_update()
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()

@@ -262,6 +262,9 @@ class TestPrune:
     def test_pruned_entry_is_a_miss_even_in_memory(self, tmp_path):
         store, keys, now = self._stocked(tmp_path, [10])
         assert store.get(keys[0]) is not None  # now cached in _mem
+        # the read refreshed the LRU clock (by design); re-age the entry
+        # so the prune below still considers it stale
+        os.utime(store._path(keys[0]), (now - 10, now - 10))
         store.prune(max_age=1, now=now)
         assert store.get(keys[0]) is None
 
@@ -291,6 +294,28 @@ class TestPrune:
         leftovers = [name for name in os.listdir(tmp_path)
                      if name != "telemetry"]
         assert leftovers == []
+
+    def test_read_hit_refreshes_the_lru_clock(self, tmp_path):
+        """Regression: reads never bumped mtime, so byte-budget
+        eviction silently degraded to FIFO — a hot, repeatedly hit
+        entry was evicted as if it had never been read again."""
+        now = 1_700_000_000.0
+        store, keys, __ = self._stocked(tmp_path, [1_000, 500])
+        hot, cold = keys  # `hot` is *older* on disk than `cold`
+        fresh = ResultStore(str(tmp_path))
+        assert fresh.get(hot) is not None  # disk hit: bumps mtime to now
+        entry_bytes = fresh.disk_bytes() // 2
+        report = fresh.prune(max_bytes=entry_bytes, now=now)
+        assert report.removed == 1
+        survivors = {key for key, *__ in fresh.iter_disk()}
+        assert survivors == {hot}  # LRU kept the hot entry, evicted cold
+
+    def test_memory_hit_also_refreshes_the_disk_entry(self, tmp_path):
+        store, keys, __ = self._stocked(tmp_path, [1_000])
+        before = next(store.iter_disk())[2]
+        assert store.get(keys[0]) is not None  # served from memory
+        after = next(store.iter_disk())[2]
+        assert after > before
 
     def test_prune_report_summary(self, tmp_path):
         store, __, now = self._stocked(tmp_path, [10, 100_000])

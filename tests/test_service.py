@@ -278,6 +278,72 @@ class TestAdmissionAndDrain:
             _stop(service, thread)
 
 
+# ---------------------------------------------------------- client semantics
+
+
+class _StuckClient(ServiceClient):
+    """A client whose jobs never finish — and no server to bother."""
+
+    def __init__(self, jobs=3):
+        super().__init__(port=1)
+        self._jobs = jobs
+
+    def submit(self, jobs):
+        return [{"id": f"j{n}", "state": "queued"}
+                for n in range(self._jobs)]
+
+    def job(self, job_id):
+        return {"id": job_id, "state": "running"}
+
+
+class TestClientSemantics:
+    def test_submit_and_wait_deadline_is_shared_across_the_batch(self):
+        """Regression: the timeout used to be per *job*, so a stuck
+        batch of N jobs blocked for N x timeout."""
+        client = _StuckClient(jobs=3)
+        started = time.monotonic()
+        with pytest.raises(TimeoutError, match="still"):
+            client.submit_and_wait([{}] * 3, timeout=0.5)
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.25  # one shared deadline, not 3 x 0.5s
+
+    def test_truncated_event_stream_raises_not_silently_ends(self):
+        """Regression: a connection dropped before the terminal event
+        used to end the generator exactly like a completed stream."""
+        import socket as socketlib
+
+        server = socketlib.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def serve_one_truncated_stream():
+            conn, __ = server.accept()
+            conn.recv(65536)
+            line = b'{"event": "queued", "job": "j1", "seq": 0}\n'
+            conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/x-ndjson\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n"
+                         + f"{len(line):X}\r\n".encode() + line + b"\r\n")
+            conn.close()  # dies without a terminal event or final chunk
+            server.close()
+
+        import threading
+        threading.Thread(target=serve_one_truncated_stream,
+                         daemon=True).start()
+        client = ServiceClient(port=port, timeout=10.0)
+        with pytest.raises(ServiceError, match="truncated|dropped"):
+            list(client.events("j1"))
+
+    def test_fractional_retry_after_round_trips(self):
+        from repro.service.frontend import format_retry_after
+        assert format_retry_after(3.0) == "3"
+        assert format_retry_after(0.25) == "0.250"
+        # the client parses either form back to the same float
+        assert float(format_retry_after(0.25)) == 0.25
+        assert float(format_retry_after(3.0)) == 3.0
+
+
 # ------------------------------------------------------------------- loadgen
 
 
@@ -309,6 +375,41 @@ class TestLoadgen:
         again = run_load(client, rps=10, duration=1.5, seed=11,
                          measure=1_000, warmup=300, distinct=3)
         assert again.cache_hit_rate == 1.0
+
+    def test_retry_429_honours_fractional_retry_after(self):
+        """A 429'd submit sleeps the server's (fractional) Retry-After
+        and resubmits instead of counting the request as rejected."""
+
+        class FlakyAdmission(ServiceClient):
+            def __init__(self):
+                super().__init__(port=1)
+                self.rejections = 2
+                self.submits = 0
+
+            def submit(self, jobs):
+                self.submits += 1
+                if self.rejections:
+                    self.rejections -= 1
+                    raise QueueFull("queue full", retry_after=0.05)
+                return [{"id": "j1", "state": "queued"}]
+
+            def wait(self, job_id, timeout=120.0, poll=0.05):
+                return {"id": job_id, "state": "done", "cached": True}
+
+        client = FlakyAdmission()
+        report = run_load(client, rps=10, duration=0.1, seed=3,
+                          retry_429=3)
+        assert report.offered == 1
+        assert report.retried == 2 and client.submits == 3
+        assert report.rejected == 0 and report.completed == 1
+
+        # with retries exhausted the request counts as rejected
+        client = FlakyAdmission()
+        client.rejections = 99
+        report = run_load(client, rps=10, duration=0.1, seed=3,
+                          retry_429=2)
+        assert report.rejected == 1 and report.retried == 2
+        assert "retried after 429" in report.render()
 
 
 # ------------------------------------------------------------------- metrics
