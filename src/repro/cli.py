@@ -4,6 +4,8 @@ Commands:
 
 * ``simulate`` — run one program on one model and print the results.
 * ``compare``  — run one program on every model side by side.
+* ``smt``      — co-run 2-4 programs on one SMT core with a partitioned
+  window ("a+b" syntax) and print per-thread results + throughput.
 * ``programs`` — list the available workload profiles.
 * ``levels``   — print the window resource level table (paper Table 2).
 """
@@ -87,6 +89,36 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_smt(args) -> int:
+    from repro.config import smt_config
+    from repro.pipeline import simulate_smt
+
+    programs = args.programs.split("+")
+    unknown = [p for p in programs if p not in PROFILES]
+    if unknown:
+        raise SystemExit(f"unknown program(s): {', '.join(unknown)} "
+                         f"(see 'python -m repro programs')")
+    if not 1 <= len(programs) <= 4:
+        raise SystemExit("SMT runs 1-4 threads, e.g. libquantum+sjeng")
+    # headroom: a fast thread cannot pause while slower threads reach
+    # the per-thread commit target, so its trace must run long
+    n_ops = (args.warmup + args.measure) * 6
+    traces = [generate_trace(profile(p), n_ops=n_ops, seed=args.seed)
+              for p in programs]
+    config = smt_config(threads=len(programs), partition=args.partition,
+                        fetch=args.fetch, level=args.level)
+    run = simulate_smt(config, traces, warmup=args.warmup,
+                       measure=args.measure)
+    for res in run.threads:
+        print(res.summary_line())
+    agg = run.aggregate
+    print(f"  partition  : {args.partition} (fetch: {args.fetch}, "
+          f"L{args.level} window)")
+    print(f"  throughput : {run.throughput():.3f} uops/cycle over "
+          f"{agg.cycles} shared cycles")
+    return 0
+
+
 def cmd_programs(args) -> int:
     print(f"{'program':<12} {'type':<5} {'category':<18} "
           f"{'paper load latency':>18}")
@@ -126,6 +158,24 @@ def main(argv=None) -> int:
     p_cmp = sub.add_parser("compare", help="all models on one program")
     _add_common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_smt = sub.add_parser(
+        "smt", help="co-run programs on one SMT core ('a+b' syntax)")
+    p_smt.add_argument("programs", metavar="PROGRAMS",
+                       help="'+'-joined profile names, e.g. "
+                            "libquantum+sjeng (1-4 threads)")
+    p_smt.add_argument("--partition", default="mlp",
+                       choices=("mlp", "equal", "shared"),
+                       help="window partition policy (default: mlp)")
+    p_smt.add_argument("--fetch", default="mlp",
+                       choices=("mlp", "icount", "roundrobin"),
+                       help="thread fetch selector (default: mlp)")
+    p_smt.add_argument("--level", type=int, default=3,
+                       help="provisioned window level (default: 3)")
+    p_smt.add_argument("--measure", type=int, default=8_000)
+    p_smt.add_argument("--warmup", type=int, default=3_000)
+    p_smt.add_argument("--seed", type=int, default=1)
+    p_smt.set_defaults(func=cmd_smt)
 
     p_prog = sub.add_parser("programs", help="list workload profiles")
     p_prog.set_defaults(func=cmd_programs)

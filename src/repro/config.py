@@ -202,6 +202,33 @@ class RunaheadConfig:
 
 
 @dataclass(frozen=True)
+class SMTConfig:
+    """SMT scenario: 2-4 hardware threads sharing one window.
+
+    ``partition`` selects the :mod:`repro.core.partition` policy that
+    maps per-thread resizing levels onto a partition of the shared
+    ROB/IQ/LSQ; ``fetch`` selects the per-cycle thread fetch selector
+    ("mlp" = ICOUNT biased away from threads with outstanding demand L2
+    misses, "icount" = plain ICOUNT, "roundrobin" = rotation).
+    """
+
+    threads: int = 2
+    partition: str = "mlp"
+    fetch: str = "mlp"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threads <= 4:
+            raise ValueError(f"SMT threads must be in 1..4, "
+                             f"got {self.threads}")
+        if self.partition not in ("mlp", "equal", "shared"):
+            raise ValueError(f"unknown partition policy {self.partition!r} "
+                             f"(want 'mlp', 'equal' or 'shared')")
+        if self.fetch not in ("mlp", "icount", "roundrobin"):
+            raise ValueError(f"unknown fetch policy {self.fetch!r} "
+                             f"(want 'mlp', 'icount' or 'roundrobin')")
+
+
+@dataclass(frozen=True)
 class ProcessorConfig:
     """Full processor configuration; defaults reproduce Table 1."""
 
@@ -232,6 +259,11 @@ class ProcessorConfig:
     #: identical — so it is excluded from :func:`config_fingerprint` and
     #: never changes a result key.
     engine: str = "reference"
+    #: SMT scenario (None = the ordinary single-thread pipeline).  When
+    #: set, ``level`` is the *provisioned* window level all threads
+    #: share and ``model`` must be FIXED (static partition) or DYNAMIC
+    #: (per-thread MLP detectors driving the partition).
+    smt: SMTConfig | None = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.level <= len(self.levels):
@@ -243,6 +275,11 @@ class ProcessorConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r} (want 'reference' or "
                 f"'fast')")
+        if self.smt is not None and self.model not in (
+                ModelKind.FIXED, ModelKind.DYNAMIC):
+            raise ValueError(
+                f"SMT supports the fixed and dynamic models, "
+                f"not {self.model.value!r}")
 
     @property
     def max_level(self) -> int:
@@ -289,6 +326,10 @@ def config_fingerprint(config: ProcessorConfig) -> str:
     """
     fields = asdict(config)
     del fields["engine"]
+    if fields.get("smt") is None:
+        # Every pre-SMT config fingerprints exactly as it always did, so
+        # existing on-disk result-store entries stay addressable.
+        del fields["smt"]
     payload = json.dumps(fields, sort_keys=True,
                          default=_encode_enum, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -317,3 +358,19 @@ def dynamic_config(max_level: int = 3) -> ProcessorConfig:
 def runahead_config() -> ProcessorConfig:
     """Runahead comparator: base window plus runahead execution."""
     return ProcessorConfig(model=ModelKind.RUNAHEAD, level=1)
+
+
+def smt_config(threads: int = 2, partition: str = "mlp",
+               fetch: str = "mlp", level: int = 3) -> ProcessorConfig:
+    """SMT processor: ``threads`` contexts sharing one ``level`` window.
+
+    The ``mlp`` partition needs live per-thread phase detectors, so it
+    runs as the DYNAMIC model; the static partitions (``equal``,
+    ``shared``) run as FIXED — with one thread and the ``equal``
+    partition this is bit-identical to ``fixed_config(level)``, the
+    property the ``verify smt`` oracle suite pins.
+    """
+    model = ModelKind.DYNAMIC if partition == "mlp" else ModelKind.FIXED
+    return ProcessorConfig(
+        model=model, level=level,
+        smt=SMTConfig(threads=threads, partition=partition, fetch=fetch))

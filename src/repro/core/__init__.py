@@ -20,6 +20,14 @@ from repro.core.policies import (
     ContributionPolicy,
     make_policy,
 )
+from repro.core.partition import (
+    PARTITION_NAMES,
+    PartitionPolicy,
+    MLPPartitionPolicy,
+    EqualPartitionPolicy,
+    SharedPartitionPolicy,
+    make_partition_policy,
+)
 
 __all__ = [
     "MLPAwarePolicy",
@@ -29,4 +37,10 @@ __all__ = [
     "OccupancyPolicy",
     "ContributionPolicy",
     "make_policy",
+    "PARTITION_NAMES",
+    "PartitionPolicy",
+    "MLPPartitionPolicy",
+    "EqualPartitionPolicy",
+    "SharedPartitionPolicy",
+    "make_partition_policy",
 ]

@@ -1,0 +1,166 @@
+"""Window partition policies for the SMT pipeline.
+
+In the SMT scenario (:mod:`repro.pipeline.smt`) 2-4 hardware threads
+share one physically provisioned ROB/IQ/LSQ :class:`~repro.pipeline.
+resources.WindowSet`.  A *partition policy* maps the per-thread
+resizing levels — each thread runs its own MLP phase detector — onto a
+partition of the shared window: per-thread entry quotas that dispatch
+enforces.  This is the SMT generalisation of the paper's single-thread
+resizing: the thread inside a miss cluster gets the deep (slow)
+partition, threads in ILP phases keep shallow fast ones.
+
+Three policies:
+
+``mlp``
+    Quotas proportional to each thread's current resizing level (the
+    per-resource entry counts of its level), re-apportioned whenever
+    any thread's detector changes level.  A thread's pipeline depth
+    (wakeup delay, branch penalty) tracks its *own* level, so an
+    ILP-phase thread keeps the shallow fast window even while its
+    neighbour holds most of the entries.
+
+``equal``
+    Static equal split of every resource, remainder to low thread ids.
+    Depth is the smallest level whose ROB covers the quota — with one
+    thread this degrades to the full window at the provisioned level,
+    which is what makes the single-thread SMT ≡ baseline oracle hold.
+
+``shared``
+    No partitioning at all (every thread's quota is the full capacity);
+    threads compete freely for entries.  The unmanaged baseline the
+    figure compares against.
+
+Invariants (checked by ``SMTProcessor.check_invariants`` and the
+``python -m repro.verify smt`` oracles): for partitioned policies the
+per-thread quotas are disjoint and sum *exactly* to the active capacity
+of each resource, and every thread keeps at least one entry of each.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import ResourceLevel
+    from repro.pipeline.resources import WindowSet
+
+PARTITION_NAMES = ("mlp", "equal", "shared")
+
+
+def _apportion(total: int, weights: Sequence[float]) -> list[int]:
+    """Largest-remainder apportionment of ``total`` entries.
+
+    Deterministic: floors first, then the remainder goes to the largest
+    fractional parts (ties broken by position).  Every share is kept
+    >= 1 by stealing from the largest share, so no thread is ever
+    starved of a resource outright.
+    """
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        weights = [1.0] * len(weights)
+        wsum = float(len(weights))
+    shares = [total * w / wsum for w in weights]
+    quotas = [int(s) for s in shares]
+    remainder = total - sum(quotas)
+    order = sorted(range(len(weights)),
+                   key=lambda i: (quotas[i] - shares[i], i))
+    for i in order[:remainder]:
+        quotas[i] += 1
+    for i, q in enumerate(quotas):
+        while quotas[i] < 1:
+            donor = max(range(len(quotas)), key=lambda j: (quotas[j], -j))
+            if quotas[donor] <= 1:
+                break
+            quotas[donor] -= 1
+            quotas[i] += 1
+    return quotas
+
+
+class PartitionPolicy(ABC):
+    """Maps per-thread resizing levels onto per-thread entry quotas."""
+
+    name: str = "?"
+    #: False when quotas may overlap (the shared-unmanaged baseline);
+    #: the sum/disjointness invariants only apply when True.
+    partitioned: bool = True
+
+    def __init__(self, levels: Sequence["ResourceLevel"],
+                 provision_level: int) -> None:
+        self.levels = tuple(levels)
+        self.provision_level = provision_level
+
+    @abstractmethod
+    def quotas(self, thread_levels: Sequence[int],
+               window: "WindowSet") -> list[tuple[int, int, int]]:
+        """Per-thread ``(iq, rob, lsq)`` quotas for the current levels."""
+
+    def depth_level(self, tid: int, thread_levels: Sequence[int],
+                    quota_rob: int) -> int:
+        """The level whose pipeline-depth params the thread runs at."""
+        return self.provision_level
+
+
+class MLPPartitionPolicy(PartitionPolicy):
+    """Quotas proportional to each thread's detector level sizes."""
+
+    name = "mlp"
+
+    def quotas(self, thread_levels, window):
+        rows = [self.levels[lv - 1] for lv in thread_levels]
+        iq = _apportion(window.iq.capacity, [r.iq_entries for r in rows])
+        rob = _apportion(window.rob.capacity, [r.rob_entries for r in rows])
+        lsq = _apportion(window.lsq.capacity, [r.lsq_entries for r in rows])
+        return list(zip(iq, rob, lsq))
+
+    def depth_level(self, tid, thread_levels, quota_rob):
+        return thread_levels[tid]
+
+
+class EqualPartitionPolicy(PartitionPolicy):
+    """Static equal split; depth from the quota each thread ends up with."""
+
+    name = "equal"
+
+    def quotas(self, thread_levels, window):
+        n = len(thread_levels)
+        ones = [1.0] * n
+        iq = _apportion(window.iq.capacity, ones)
+        rob = _apportion(window.rob.capacity, ones)
+        lsq = _apportion(window.lsq.capacity, ones)
+        return list(zip(iq, rob, lsq))
+
+    def depth_level(self, tid, thread_levels, quota_rob):
+        for lv in range(1, self.provision_level + 1):
+            if self.levels[lv - 1].rob_entries >= quota_rob:
+                return lv
+        return self.provision_level
+
+
+class SharedPartitionPolicy(PartitionPolicy):
+    """Unmanaged sharing: every thread may fill the whole window."""
+
+    name = "shared"
+    partitioned = False
+
+    def quotas(self, thread_levels, window):
+        full = (window.iq.capacity, window.rob.capacity,
+                window.lsq.capacity)
+        return [full for _ in thread_levels]
+
+
+_PARTITIONS = {
+    "mlp": MLPPartitionPolicy,
+    "equal": EqualPartitionPolicy,
+    "shared": SharedPartitionPolicy,
+}
+
+
+def make_partition_policy(name: str, levels: Sequence["ResourceLevel"],
+                          provision_level: int) -> PartitionPolicy:
+    try:
+        cls = _PARTITIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown partition policy {name!r} "
+                         f"(known: {', '.join(PARTITION_NAMES)})") from None
+    return cls(levels, provision_level)

@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "ablation_dram": "repro.experiments.ablation_dram",
     "ablation_multicore": "repro.experiments.ablation_multicore",
     "ablation_seeds": "repro.experiments.ablation_seeds",
+    "fig_smt": "repro.experiments.fig_smt_partition",
 }
 
 __all__ = ["Settings", "ExperimentResult", "Sweep", "render_table",

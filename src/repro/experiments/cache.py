@@ -500,6 +500,12 @@ class JobSpec:
     #: deliberately pairing engines against each other must split the
     #: keys via ``key_extra`` (see ``repro.verify.fuzz``).
     engine: str | None = None
+    #: per-thread programs of an SMT job (``config.smt`` set); the
+    #: worker generates one trace per entry and runs
+    #: :func:`repro.pipeline.smt.simulate_smt` instead of ``simulate``.
+    #: ``program`` holds the "+"-joined form the key is derived from;
+    #: keeping the split here saves every consumer re-parsing it.
+    smt_programs: tuple[str, ...] | None = None
 
 
 class JobRecorder:

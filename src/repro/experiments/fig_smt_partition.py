@@ -1,0 +1,123 @@
+"""Extension — SMT window partitioning: MLP-aware vs static vs shared.
+
+The paper resizes one thread's window between shallow/fast and
+deep/slow configurations.  On an SMT core the same signal can steer a
+*partition*: give the thread inside a miss cluster the deep share of
+the ROB/IQ/LSQ (it wants outstanding misses, not cycle time) and let
+ILP-phase threads keep shallow fast shares.  This figure co-runs mixed
+memory/compute pairs under the three partition policies of
+:mod:`repro.core.partition` and reports throughput (aggregate IPC over
+the shared clock) and fairness (harmonic mean of each thread's IPC
+relative to running alone on the same core) for each:
+
+* ``mlp``     — quotas track the per-thread MLP detectors, MLP-aware
+  fetch (miss-cluster threads deprioritised);
+* ``equal``   — static equal split, ICOUNT fetch (the classic managed
+  baseline);
+* ``shared``  — no partition at all, ICOUNT fetch (unmanaged).
+"""
+
+from __future__ import annotations
+
+from repro.config import fixed_config, smt_config
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.pipeline.core import simulate
+from repro.pipeline.smt import simulate_smt
+from repro.workloads import generate_trace, profile
+
+#: two-thread pairings: memory-bound + compute-bound in both orders,
+#: plus a memory pair — the mixed pairings are where MLP-aware
+#: partitioning should beat a static equal split.
+MIXES = {
+    "lib+sjeng": ("libquantum", "sjeng"),
+    "milc+gcc": ("milc", "gcc"),
+    "lib+gcc": ("libquantum", "gcc"),
+    "milc+sjeng": ("milc", "sjeng"),
+}
+
+#: partition policy -> fetch policy.  The non-mlp rows use ICOUNT so
+#: the comparison isolates *partitioning*; the mlp row additionally
+#: uses the MLP-aware selector (they are one mechanism in the design).
+POLICIES = {"mlp": "mlp", "equal": "icount", "shared": "icount"}
+
+#: trace-length headroom over the per-thread commit target: a fast
+#: thread cannot pause while its partner reaches the target, so it
+#: runs far past its own and must not drain mid-measurement.
+HEADROOM = 6
+
+
+def _fairness(run, alone_ipc) -> float:
+    """Harmonic mean of per-thread normalised progress (IPC in the mix
+    over IPC alone).  1.0 = every thread as fast as alone; dominated by
+    the most-starved thread, which is the point of a fairness metric."""
+    inverse = 0.0
+    for res, alone in zip(run.threads, alone_ipc):
+        if res.ipc <= 0 or alone <= 0:
+            return 0.0
+        inverse += alone / res.ipc
+    return len(run.threads) / inverse
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    settings = (sweep.settings if sweep is not None
+                else settings) or Settings()
+    result = ExperimentResult(
+        exp_id="fig_smt",
+        title="SMT partitioning: throughput and fairness per policy",
+        headers=["mix", "thr mlp", "thr equal", "thr shared",
+                 "fair mlp", "fair equal", "fair shared", "mlp/equal"],
+    )
+    n_ops = (settings.warmup + settings.measure) * HEADROOM
+    wins = []
+    for mix, programs in MIXES.items():
+        traces = {p: generate_trace(profile(p), n_ops=n_ops,
+                                    seed=settings.seed)
+                  for p in programs}
+        alone_ipc = [
+            simulate(fixed_config(3), traces[p], warmup=settings.warmup,
+                     measure=settings.measure).ipc
+            for p in programs]
+        throughput = {}
+        fairness = {}
+        for partition, fetch in POLICIES.items():
+            config = smt_config(threads=len(programs), partition=partition,
+                                fetch=fetch, level=3)
+            smt_run = simulate_smt(config, [traces[p] for p in programs],
+                                   warmup=settings.warmup,
+                                   measure=settings.measure)
+            throughput[partition] = smt_run.throughput()
+            fairness[partition] = _fairness(smt_run, alone_ipc)
+        ratio = (throughput["mlp"] / throughput["equal"]
+                 if throughput["equal"] else 0.0)
+        if ratio > 1.0:
+            wins.append(mix)
+        result.rows.append([
+            mix,
+            f"{throughput['mlp']:.3f}", f"{throughput['equal']:.3f}",
+            f"{throughput['shared']:.3f}",
+            f"{fairness['mlp']:.2f}", f"{fairness['equal']:.2f}",
+            f"{fairness['shared']:.2f}",
+            f"{ratio:.2f}"])
+        result.series[mix] = ratio
+    result.notes.append(
+        "throughput: committed uops per shared-clock cycle; fairness: "
+        "harmonic mean of per-thread IPC relative to running alone at "
+        "the provisioned level.  Expected: mlp/equal > 1 on mixed "
+        "memory/compute pairings — the MLP thread gets the window depth "
+        "a static split denies it while the ILP thread keeps a shallow "
+        "fast share")
+    if wins:
+        result.notes.append(
+            "MLP-aware partitioning beats the static equal split on: "
+            + ", ".join(wins))
+    else:
+        result.notes.append(
+            "WARNING: MLP-aware partitioning did not beat the static "
+            "equal split on any mix at these sample sizes")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

@@ -65,6 +65,32 @@ def plan_campaign(exp_ids, settings, experiments=None) -> JobRecorder:
 _TRACE_MEMO: dict[tuple, object] = {}
 
 
+def _memo_trace(program: str, trace_ops: int, seed: int):
+    memo_key = (program, trace_ops, seed)
+    trace = _TRACE_MEMO.get(memo_key)
+    if trace is None:
+        trace = generate_trace(profile(program), n_ops=trace_ops, seed=seed)
+        _TRACE_MEMO[memo_key] = trace
+    return trace
+
+
+def _run_smt_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
+    """Execute one SMT simulation: one trace per hardware thread, the
+    store entry is the aggregate (whole-core) result.  Telemetry and
+    the sanitizer are single-thread observers and are not attached to
+    SMT runs (build_spec rejects the combination at admission)."""
+    started = time.perf_counter()
+    from repro.pipeline.smt import simulate_smt
+    programs = spec.smt_programs or tuple(spec.program.split("+"))
+    traces = [_memo_trace(prog, spec.trace_ops, spec.seed)
+              for prog in programs]
+    run = simulate_smt(spec.config, traces, warmup=spec.warmup,
+                       measure=spec.measure, engine=spec.engine)
+    result = run.aggregate
+    EnergyModel().annotate(result, spec.config)
+    return spec.key, result, time.perf_counter() - started
+
+
 def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
     """Execute one simulation (in a worker process or inline).
 
@@ -75,13 +101,10 @@ def _run_job(spec: JobSpec) -> tuple[str, SimulationResult, float]:
     digest-neutral), so the store entry carries no trace of whether
     telemetry was on.
     """
+    if getattr(spec.config, "smt", None) is not None:
+        return _run_smt_job(spec)
     started = time.perf_counter()
-    memo_key = (spec.program, spec.trace_ops, spec.seed)
-    trace = _TRACE_MEMO.get(memo_key)
-    if trace is None:
-        trace = generate_trace(profile(spec.program), n_ops=spec.trace_ops,
-                               seed=spec.seed)
-        _TRACE_MEMO[memo_key] = trace
+    trace = _memo_trace(spec.program, spec.trace_ops, spec.seed)
     probe = None
     if spec.telemetry_period and spec.telemetry_dir:
         from repro.telemetry import TelemetryProbe

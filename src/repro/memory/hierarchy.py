@@ -91,6 +91,10 @@ class MemoryHierarchy:
         shared LLC and channel (see :mod:`repro.multicore`)."""
         self.config = config
         self._line_usage = LineUsageStats()
+        # which structures this facade owns (vs. shares with other
+        # cores): reset_measurement only touches owned counters
+        self._owns_l2 = shared_l2 is None
+        self._owns_memory = shared_memory is None
         self.l1i = Cache(config.l1i, name="L1I")
         self.l1d = Cache(config.l1d, name="L1D",
                          evict_hook=self._on_l1d_evict)
@@ -308,6 +312,34 @@ class MemoryHierarchy:
             self.l2_mshr.allocate(line_addr, done, cycle=cycle)
             self.l2.install(line_addr, done, brought_by=int(AccessPath.PREFETCH))
             self.prefetch_fills += 1
+
+    # ------------------------------------------------------------------
+    # measurement boundary
+
+    def reset_measurement(self) -> None:
+        """Zero the per-measurement counters at the warmup boundary.
+
+        Only counters of structures this facade *owns* are touched.  In
+        a multi-core system the L2 and the memory channel are shared
+        between N facades; resetting them here would zero the shared
+        counters once per core (harmless for plain zeroing, but wrong
+        the moment any system-level reset anchors derived state, and
+        misleading in any case).  :meth:`repro.multicore.MultiCoreSystem.
+        reset_measurement` resets the shared structures exactly once.
+        """
+        self.load_latency_sum = 0
+        self.load_count = 0
+        self.demand_l2_misses = 0
+        caches = [self.l1i, self.l1d]
+        if self._owns_l2:
+            caches.append(self.l2)
+        for cache in caches:
+            cache.hits = 0
+            cache.misses = 0
+            cache.evictions = 0
+        if self._owns_memory:
+            self.memory.requests = 0
+            self.memory.busy_cycles = 0
 
     # ------------------------------------------------------------------
     # end-of-run statistics

@@ -58,6 +58,11 @@ class MultiCoreSystem:
                 shared_memory=self.shared_memory)
             self.cores.append(Processor(config, trace,
                                         hierarchy=hierarchy))
+        # channel position at the last measurement reset: bounds how
+        # many busy cycles the channel could legitimately have charged
+        # since (see channel_utilisation)
+        self._channel_anchor = getattr(self.shared_memory,
+                                       "_channel_free", 0)
 
     # ------------------------------------------------------------------
 
@@ -68,21 +73,47 @@ class MultiCoreSystem:
             core.prewarm(budget_fraction=fraction)
 
     def reset_measurement(self) -> None:
+        """Zero all measurement counters at the warmup boundary.
+
+        Per-core resets cover each core's private structures (the
+        hierarchy facade reset is ownership-aware); the shared L2 and
+        the shared channel are zeroed here, exactly once — not once per
+        core through each core's facade.
+        """
         for core in self.cores:
             core.reset_measurement()
+        l2 = self.shared_l2
+        l2.hits = 0
+        l2.misses = 0
+        l2.evictions = 0
+        self.shared_memory.requests = 0
+        self.shared_memory.busy_cycles = 0
+        self._channel_anchor = getattr(self.shared_memory,
+                                       "_channel_free", 0)
 
     def run(self, until_committed_each: int,
             max_cycles: int | None = None) -> None:
         """Advance all cores in lockstep until each has committed
-        ``until_committed_each`` micro-ops (or drained its trace)."""
+        ``until_committed_each`` micro-ops (or drained its trace).
+
+        A core's ``step_cycle() == 0`` alone does not retire it: zero
+        means "no forward progress possible this cycle", which a core
+        waiting on a shared resource (or any subclass with its own
+        drain condition) can report transiently.  Only
+        :meth:`Processor.trace_drained` retires a core early; a
+        non-drained idle core keeps advancing in lockstep so the shared
+        clock stays aligned, and the ``max_cycles`` bound (taken over
+        *all* cores' clocks, not just core 0's) catches true livelock.
+        """
         if max_cycles is None:
-            max_cycles = (self.cores[0].cycle
+            max_cycles = (max(core.cycle for core in self.cores)
                           + (until_committed_each + 1000) * 800)
         active = set(range(len(self.cores)))
         while active:
             deltas = []
             finished = []
-            for idx in active:
+            idle = []
+            for idx in sorted(active):
                 core = self.cores[idx]
                 if core.committed_total >= until_committed_each:
                     finished.append(idx)
@@ -92,15 +123,23 @@ class MultiCoreSystem:
                         f"core {idx} exceeded {max_cycles} cycles")
                 delta = core.step_cycle()
                 if delta == 0:
-                    finished.append(idx)
+                    if core.trace_drained():
+                        finished.append(idx)
+                    else:
+                        idle.append(idx)
                 else:
                     deltas.append((idx, delta))
             active.difference_update(finished)
-            if not deltas:
+            if not deltas and not idle:
                 continue
-            # lockstep: everyone advances by the smallest suggested delta
-            step = min(delta for __, delta in deltas)
+            # lockstep: everyone advances by the smallest suggested
+            # delta; idle-but-undrained cores ride along so their
+            # clocks stay in step with the cores still working
+            step = (min(delta for __, delta in deltas)
+                    if deltas else 1)
             for idx, __ in deltas:
+                self.cores[idx].advance(step)
+            for idx in idle:
                 self.cores[idx].advance(step)
 
     # ------------------------------------------------------------------
@@ -126,11 +165,32 @@ class MultiCoreSystem:
         return sum(core.stats.ipc for core in self.cores)
 
     def channel_utilisation(self) -> float:
-        """Fraction of elapsed cycles the shared channel was transferring."""
+        """Fraction of elapsed cycles the shared channel was transferring.
+
+        Deliberately *not* clamped to 1.0: the channel charges each
+        transfer's cycles when the transfer is scheduled, so at the end
+        of a measurement window the counter legitimately includes
+        cycles of transfers still draining past the last core cycle
+        observed here.  A backlogged channel therefore reads slightly
+        above 1.0 — that is real oversubscription the experiments want
+        to see, and the old ``min(1.0, ...)`` silently hid it.  What is
+        *never* legitimate is charging more busy cycles than the
+        channel's own schedule advanced since the last reset; that
+        indicates corrupt accounting and raises.
+        """
         cycles = max(core.stats.cycles for core in self.cores)
         if not cycles:
             return 0.0
-        return min(1.0, self.shared_memory.busy_cycles / cycles)
+        busy = self.shared_memory.busy_cycles
+        channel_free = getattr(self.shared_memory, "_channel_free", None)
+        if channel_free is not None:
+            headroom = max(0, channel_free - self._channel_anchor)
+            if busy > headroom:
+                raise AssertionError(
+                    f"channel busy_cycles={busy} exceeds the "
+                    f"{headroom} cycles the channel schedule advanced "
+                    f"since the last reset — busy accounting is corrupt")
+        return busy / cycles
 
 
 def simulate_multicore(configs: list[ProcessorConfig], traces: list[Trace],

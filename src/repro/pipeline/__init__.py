@@ -22,8 +22,9 @@ from repro.pipeline.engine import (
     get_engine,
 )
 from repro.pipeline.tracer import PipelineTracer, OpRecord
+from repro.pipeline.smt import SMTProcessor, SMTRun, simulate_smt
 
 __all__ = ["WindowResource", "WindowSet", "Processor", "InFlightOp",
            "simulate", "PipelineTracer", "OpRecord",
            "Engine", "ReferenceEngine", "FastEngine", "get_engine",
-           "ENGINE_NAMES"]
+           "ENGINE_NAMES", "SMTProcessor", "SMTRun", "simulate_smt"]

@@ -132,6 +132,10 @@ class InFlightOp:
 class Processor:
     """One simulated processor instance running one trace."""
 
+    #: SMT subclasses set True; the fast engine checks this to defer to
+    #: the reference stepper (see :mod:`repro.pipeline.smt`)
+    is_smt = False
+
     def __init__(self, config: ProcessorConfig, trace: "Trace",
                  policy: ResizingPolicy | None = None,
                  hierarchy: MemoryHierarchy | None = None,
@@ -940,6 +944,17 @@ class Processor:
                 and self._trace_idx >= len(self.trace.ops)
                 and not self.rob and not self._decode_q)
 
+    def trace_drained(self) -> bool:
+        """True when the trace is exhausted and the machine is empty.
+
+        Public form of the drain check for external schedulers
+        (:class:`repro.multicore.MultiCoreSystem`), which must be able
+        to tell "this core is finished" apart from "this core merely
+        made no progress this cycle" — ``step_cycle() == 0`` alone
+        cannot distinguish the two for every core implementation.
+        """
+        return self._trace_done()
+
     def _next_interesting_cycle(self) -> int | None:
         now = self.cycle
         candidates = []
@@ -1029,18 +1044,14 @@ class Processor:
 
     def reset_measurement(self) -> None:
         """Zero all statistics (microarchitectural state is retained) —
-        call at the warmup/measurement boundary."""
+        call at the warmup/measurement boundary.
+
+        The hierarchy reset is ownership-aware: shared structures (the
+        multi-core L2/channel) are left to the system-level reset so
+        their counters are zeroed exactly once, not once per core.
+        """
         self.stats.reset()
-        h = self.hierarchy
-        h.load_latency_sum = 0
-        h.load_count = 0
-        h.demand_l2_misses = 0
-        for cache in (h.l1i, h.l1d, h.l2):
-            cache.hits = 0
-            cache.misses = 0
-            cache.evictions = 0
-        h.memory.requests = 0
-        h.memory.busy_cycles = 0
+        self.hierarchy.reset_measurement()
         self.predictor.predictions = 0
         self.predictor.mispredictions = 0
 

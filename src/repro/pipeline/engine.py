@@ -115,12 +115,20 @@ class ReferenceEngine(Engine):
 
 def _must_defer(proc) -> bool:
     """True when per-cycle observers (or models the fast loop does not
-    replicate) are attached — see the module docstring's fallback rule."""
+    replicate) are attached — see the module docstring's fallback rule.
+
+    SMT processors (:mod:`repro.pipeline.smt`) always defer: the fast
+    loop hand-inlines the single-thread stages, and the SMT subclass
+    overrides most of them (per-thread fetch selection, partitioned
+    dispatch, rotating commit), so the explicit fallback to the
+    subclass's reference stepper is the correctness contract.
+    """
     return (proc.runahead is not None
             or proc.debug is not None
             or proc.telemetry is not None
             or proc.tracer is not None
             or not proc.fast_forward
+            or getattr(proc, "is_smt", False)
             or "step_cycle" in proc.__dict__
             or "advance" in proc.__dict__)
 

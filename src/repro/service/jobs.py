@@ -29,6 +29,7 @@ from repro.config import (
     fixed_config,
     ideal_config,
     runahead_config,
+    smt_config,
 )
 from repro.core.policies import make_policy
 from repro.experiments.cache import JobSpec, result_key
@@ -49,7 +50,10 @@ _MODEL_FACTORIES = {
 }
 
 _DEFAULT_LEVEL = {"base": 1, "fixed": 3, "ideal": 3, "dynamic": 3,
-                  "runahead": 1}
+                  "runahead": 1, "smt": 3}
+
+#: how many hardware threads one SMT job may carry (mirrors SMTConfig)
+_SMT_MAX_THREADS = 4
 
 #: Admission guards: a single service job may not exceed these sample
 #: sizes (a campaign wanting more has the batch path; a service exists
@@ -59,7 +63,7 @@ MAX_WARMUP = 500_000
 
 _ALLOWED_KEYS = frozenset((
     "program", "model", "level", "policy", "seed", "warmup", "measure",
-    "config", "telemetry_period",
+    "config", "telemetry_period", "smt",
 ))
 
 #: job states; ``done``/``failed``/``rejected`` are terminal.
@@ -98,6 +102,9 @@ def _apply_overrides(config: ProcessorConfig, overrides: dict) -> ProcessorConfi
         if name == "model":
             raise ValidationError("select the model with the top-level "
                                   "'model' key, not a config override")
+        if name == "smt":
+            raise ValidationError("configure SMT with the top-level "
+                                  "'smt' key, not a config override")
         if name not in fields:
             known = ", ".join(sorted(fields))
             raise ValidationError(f"unknown config field {name!r} "
@@ -145,22 +152,62 @@ def build_spec(payload: dict, *, sanitize: bool = False,
             f"unknown job keys: {', '.join(sorted(unknown))} "
             f"(known: {', '.join(sorted(_ALLOWED_KEYS))})")
 
+    model = payload.get("model", "dynamic")
+    if model != "smt" and model not in _MODEL_FACTORIES:
+        known = sorted(_MODEL_FACTORIES) + ["smt"]
+        raise ValidationError(
+            f"unknown model {model!r} (known: {', '.join(known)})")
+
     program = payload.get("program")
-    if program not in PROFILES:
+    smt_programs: tuple[str, ...] | None = None
+    if model == "smt":
+        # one program per hardware thread, "+"-joined: "libquantum+sjeng"
+        if not isinstance(program, str) or not program:
+            raise ValidationError(
+                "smt jobs take 'program' as 'prog1+prog2[+...]'")
+        smt_programs = tuple(program.split("+"))
+        if len(smt_programs) > _SMT_MAX_THREADS:
+            raise ValidationError(
+                f"smt supports at most {_SMT_MAX_THREADS} threads, "
+                f"got {len(smt_programs)} programs")
+        for part in smt_programs:
+            if part not in PROFILES:
+                raise ValidationError(
+                    f"unknown program {part!r}; see GET /v1/programs")
+    elif program not in PROFILES:
         raise ValidationError(
             f"unknown program {program!r}; see GET /v1/programs")
 
-    model = payload.get("model", "dynamic")
-    if model not in _MODEL_FACTORIES:
-        raise ValidationError(
-            f"unknown model {model!r} "
-            f"(known: {', '.join(sorted(_MODEL_FACTORIES))})")
-
     level = _require_int(payload, "level", _DEFAULT_LEVEL[model], minimum=1)
-    try:
-        config = _MODEL_FACTORIES[model](level)
-    except ValueError as exc:
-        raise ValidationError(str(exc)) from None
+    if model == "smt":
+        if sanitize:
+            raise ValidationError(
+                "the invariant sanitizer does not support smt jobs; "
+                "their invariants run under python -m repro.verify smt")
+        smt_options = payload.get("smt", {})
+        if not isinstance(smt_options, dict):
+            raise ValidationError(f"'smt' must be an object, "
+                                  f"got {smt_options!r}")
+        unknown = set(smt_options) - {"partition", "fetch"}
+        if unknown:
+            raise ValidationError(
+                f"unknown smt options: {', '.join(sorted(unknown))} "
+                f"(known: partition, fetch)")
+        try:
+            config = smt_config(threads=len(smt_programs),
+                                partition=smt_options.get("partition", "mlp"),
+                                fetch=smt_options.get("fetch", "mlp"),
+                                level=level)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
+    else:
+        if "smt" in payload:
+            raise ValidationError(
+                "'smt' options only apply to the smt model")
+        try:
+            config = _MODEL_FACTORIES[model](level)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
     if "config" in payload:
         config = _apply_overrides(config, payload["config"])
 
@@ -186,6 +233,9 @@ def build_spec(payload: dict, *, sanitize: bool = False,
                            maximum=MAX_MEASURE)
     telemetry_period = _require_int(payload, "telemetry_period", 0,
                                     minimum=0)
+    if telemetry_period and model == "smt":
+        raise ValidationError("telemetry sampling is per-core and does "
+                              "not support smt jobs")
     if telemetry_period and telemetry_dir is None:
         raise ValidationError("telemetry_period needs an on-disk result "
                               "store (server started with --no-cache)")
@@ -198,7 +248,7 @@ def build_spec(payload: dict, *, sanitize: bool = False,
                    trace_ops=trace_ops, sanitize=sanitize,
                    telemetry_period=telemetry_period,
                    telemetry_dir=telemetry_dir if telemetry_period else None,
-                   engine=engine)
+                   engine=engine, smt_programs=smt_programs)
 
 
 def result_to_json(result: SimulationResult) -> dict:

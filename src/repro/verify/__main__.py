@@ -15,7 +15,11 @@ Subcommands:
   table (reference vs fast digest identity per program and model);
 * ``fuzz`` — random-trace paired-run fuzzing through the parallel
   campaign executor (``--engines`` pairs the two execution engines
-  instead of the ff/pin kinds).
+  instead of the ff/pin kinds);
+* ``smt`` — the SMT oracle suite (:mod:`repro.verify.smt_oracles`):
+  per-thread digest determinism, single-thread-SMT ≡ baseline
+  pin-equivalence, per-cycle partition invariants and the fast-engine
+  fallback identity.
 
 Exit status is 0 iff every requested check passed.
 """
@@ -58,6 +62,11 @@ def main(argv: list[str] | None = None) -> int:
     p_engines.add_argument("--programs", nargs="+", default=None,
                            help="programs (default: the full table)")
 
+    p_smt = sub.add_parser("smt", help="run the SMT oracle suite")
+    p_smt.add_argument("--programs", nargs="+", default=None,
+                       help="baseline-identity programs (default: the "
+                            "5-program SMT corpus)")
+
     p_fuzz = sub.add_parser("fuzz", help="paired-run fuzzing")
     p_fuzz.add_argument("--pairs", type=int, default=8,
                         help="number of differential pairs (default 8)")
@@ -81,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.oracles import check_engine_equivalence
         outcomes = check_engine_equivalence(
             tuple(args.programs) if args.programs else None)
+    elif command == "smt":
+        from repro.verify.smt_oracles import run_smt_oracles
+        outcomes = run_smt_oracles(args.programs)
     elif command == "regen":
         payload = write_golden(args.path)
         cells = sum(len(v) for v in payload["digests"].values())
