@@ -14,11 +14,20 @@ ILP-contribution-driven resizing) for ablation experiments.
 
 from repro.core.resizing import MLPAwarePolicy, ResizeDecision
 from repro.core.policies import (
+    POLICY_REGISTRY,
+    PolicyInfo,
     ResizingPolicy,
     StaticPolicy,
     OccupancyPolicy,
     ContributionPolicy,
     make_policy,
+    policy_specs,
+)
+from repro.core.learned import (
+    BANDIT_KINDS,
+    BanditWindowPolicy,
+    TablePolicy,
+    seeded_unit,
 )
 from repro.core.partition import (
     PARTITION_NAMES,
@@ -36,7 +45,14 @@ __all__ = [
     "StaticPolicy",
     "OccupancyPolicy",
     "ContributionPolicy",
+    "BANDIT_KINDS",
+    "BanditWindowPolicy",
+    "TablePolicy",
+    "seeded_unit",
+    "POLICY_REGISTRY",
+    "PolicyInfo",
     "make_policy",
+    "policy_specs",
     "PARTITION_NAMES",
     "PartitionPolicy",
     "MLPPartitionPolicy",

@@ -267,27 +267,133 @@ class ContributionPolicy(ResizingPolicy):
         return True
 
 
-def make_policy(name: str, max_level: int, memory_latency: int) -> ResizingPolicy:
-    """Policy factory for the ablation experiments and the verify
-    oracles.  ``static`` pins level 1; ``static:N`` pins level ``N``
-    (``N`` in 1..``max_level``)."""
+def _make_static(arg: str, max_level: int, memory_latency: int):
+    try:
+        level = int(arg) if arg else 1
+    except ValueError:
+        raise ValueError(f"bad static level {arg!r}") from None
+    if not 1 <= level <= max_level:
+        raise ValueError(f"static level {level} outside 1..{max_level}")
+    return StaticPolicy(level)
+
+
+def _make_mlp(arg: str, max_level: int, memory_latency: int):
     from repro.core.resizing import MLPAwarePolicy
-    if name == "mlp":
-        return MLPAwarePolicy(max_level, memory_latency)
-    if name == "occupancy":
-        return OccupancyPolicy(max_level)
-    if name == "contribution":
-        return ContributionPolicy(max_level)
-    if name == "static" or name.startswith("static:"):
-        __, ___, arg = name.partition(":")
-        try:
-            level = int(arg) if arg else 1
-        except ValueError:
-            raise ValueError(
-                f"bad static level {arg!r} in policy name {name!r}") from None
-        if not 1 <= level <= max_level:
-            raise ValueError(
-                f"static level {level} outside 1..{max_level}")
-        return StaticPolicy(level)
-    raise ValueError(f"unknown policy {name!r}; "
-                     "known: mlp, occupancy, contribution, static[:N]")
+    return MLPAwarePolicy(max_level, memory_latency)
+
+
+def _make_occupancy(arg: str, max_level: int, memory_latency: int):
+    return OccupancyPolicy(max_level)
+
+
+def _make_contribution(arg: str, max_level: int, memory_latency: int):
+    return ContributionPolicy(max_level)
+
+
+def _make_bandit(arg: str, max_level: int, memory_latency: int):
+    from repro.core.learned import BANDIT_KINDS, BanditWindowPolicy
+    kind, __, seed_arg = arg.partition(":")
+    if kind not in BANDIT_KINDS:
+        raise ValueError(f"unknown bandit kind {kind!r}; "
+                         f"known: {', '.join(BANDIT_KINDS)}")
+    try:
+        seed = int(seed_arg) if seed_arg else 1
+    except ValueError:
+        raise ValueError(f"bad bandit seed {seed_arg!r}") from None
+    return BanditWindowPolicy(max_level, kind=kind, seed=seed)
+
+
+def _make_table(arg: str, max_level: int, memory_latency: int):
+    from repro.core.learned import TablePolicy
+    if not arg:
+        raise ValueError("table policy needs an artifact path: table:<path>")
+    return TablePolicy.from_file(arg, max_level)
+
+
+class PolicyInfo:
+    """One registry row: canonical spec syntax, summary, factory.
+
+    The single source of truth for what policies exist — the
+    :func:`make_policy` dispatch and its unknown-name error, the policy
+    handbook (``docs/policies.md``) and the service's accepted specs
+    all derive from this table, so they cannot drift apart
+    (``tests/test_policies.py`` asserts the docs list every spec).
+    """
+
+    __slots__ = ("prefix", "spec", "summary", "oracles", "factory")
+
+    def __init__(self, prefix: str, spec: str, summary: str,
+                 oracles: str, factory) -> None:
+        self.prefix = prefix
+        self.spec = spec
+        self.summary = summary
+        self.oracles = oracles
+        self.factory = factory
+
+
+POLICY_REGISTRY: tuple[PolicyInfo, ...] = (
+    PolicyInfo(
+        "static", "static[:N]",
+        "fixed window level N (default 1) for the whole run — the "
+        "paper's FIXED and IDEAL models",
+        "golden digests, fast-forward/engine equivalence; the reference "
+        "side of pin-equivalence",
+        _make_static),
+    PolicyInfo(
+        "mlp", "mlp",
+        "the paper's DYN controller: enlarge one level per demand L2 "
+        "miss, shrink when a one-memory-latency timer expires",
+        "pin-equivalence, degenerate-memory (stays at level 1), "
+        "ff/engine equivalence, golden digests, fuzz",
+        _make_mlp),
+    PolicyInfo(
+        "occupancy", "occupancy",
+        "demand-driven comparator (Ponomarev-style): shrink on low IQ "
+        "occupancy, enlarge on dispatch stalls",
+        "pin-equivalence, degenerate-memory (no-miss premise), fuzz",
+        _make_occupancy),
+    PolicyInfo(
+        "contribution", "contribution",
+        "ILP-feedback comparator (Folegnani-style): probe a level move "
+        "every period, keep it only if commit rate justifies it",
+        "pin-equivalence, degenerate-memory (no-miss premise), fuzz",
+        _make_contribution),
+    PolicyInfo(
+        "bandit", "bandit:ucb[:seed] | bandit:egreedy[:seed]",
+        "online bandit over window levels, reward = windowed commit "
+        "rate net of measured transition/drain cost; seeded "
+        "deterministic exploration",
+        "pin-equivalence, degenerate-memory (stays at level 1), "
+        "seeded-replay bit-identity, fuzz",
+        _make_bandit),
+    PolicyInfo(
+        "table", "table:<path>",
+        "zero-exploration decision table (miss bucket -> level) "
+        "distilled from telemetry by tools/train_policy_table.py",
+        "pin-equivalence and degenerate-memory via its bucket-0 level; "
+        "library/batch only (the service rejects file-path specs)",
+        _make_table),
+)
+
+_REGISTRY_BY_PREFIX = {info.prefix: info for info in POLICY_REGISTRY}
+
+
+def policy_specs() -> tuple[str, ...]:
+    """Canonical spec string of every registered policy family."""
+    return tuple(info.spec for info in POLICY_REGISTRY)
+
+
+def make_policy(name: str, max_level: int, memory_latency: int) -> ResizingPolicy:
+    """Policy factory for the experiments, the service job path and the
+    verify oracles.  ``name`` is a spec from :data:`POLICY_REGISTRY`:
+    the family prefix plus optional ``:``-separated arguments (e.g.
+    ``static:2``, ``bandit:ucb:7``, ``table:results/table.json``)."""
+    prefix, __, arg = name.partition(":")
+    info = _REGISTRY_BY_PREFIX.get(prefix)
+    if info is None:
+        raise ValueError(f"unknown policy {name!r}; known specs: "
+                         + ", ".join(policy_specs()))
+    try:
+        return info.factory(arg, max_level, memory_latency)
+    except ValueError as exc:
+        raise ValueError(f"bad policy spec {name!r}: {exc}") from None

@@ -30,6 +30,7 @@ EXPERIMENTS = {
     "fig12": "repro.experiments.fig12_runahead",
     "ablation_penalty": "repro.experiments.ablation_transition_penalty",
     "ablation_policies": "repro.experiments.ablation_policies",
+    "ablation_learned": "repro.experiments.ablation_learned",
     "ablation_shrink": "repro.experiments.ablation_shrink_timer",
     "ablation_maxlevel": "repro.experiments.ablation_max_level",
     "ablation_level4": "repro.experiments.ablation_level4",

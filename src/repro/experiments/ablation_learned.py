@@ -1,0 +1,115 @@
+"""Ablation — learned controllers vs the full comparator table.
+
+Evaluates the seeded bandit family (:mod:`repro.core.learned`) against
+every hand-tuned comparator — the three fixed levels, the paper's DYN
+(``mlp``), and the occupancy/contribution prior-art policies — over two
+program sets:
+
+* the paper's 28-program Table-3 set, where DYN is the answer key: a
+  learned controller earns its keep by approaching DYN *without* being
+  told the control law; and
+* the adversarial set (:mod:`repro.workloads.adversarial`), constructed
+  so that no fixed level and no hand-tuned trigger is right everywhere:
+  ``adv_missburst`` makes DYN's own enlarge-on-miss reflex the wrong
+  answer, which only a controller that *measures* outcomes can avoid.
+
+All columns are IPC normalised by the ``static:1`` run on the same
+dynamic-model configuration (the paper's FIXED smallest window), so a
+cell reads directly as "speedup over never enlarging".
+
+Acceptance framing: the bandit should beat the best single fixed level
+(geomean) on the adversarial set — no static choice is safe there — and
+track DYN on the paper set, where the finite run grants the bandit only
+a few dozen scoring windows to pay for its exploration, so a gap of a
+few percent is the cost of learning online rather than noise.
+"""
+
+from __future__ import annotations
+
+from repro.config import dynamic_config
+from repro.core.policies import make_policy
+from repro.experiments.runner import (
+    ExperimentResult, Settings, Sweep, cli_settings)
+from repro.stats import geometric_mean
+from repro.workloads import ADVERSARIAL_PROGRAMS
+
+BASELINE = "static:1"
+POLICIES = ("static:2", "static:3", "mlp", "occupancy", "contribution",
+            "bandit:ucb", "bandit:egreedy")
+FIXED = ("static:1", "static:2", "static:3")
+
+
+def run(settings: Settings | None = None,
+        sweep: Sweep | None = None) -> ExperimentResult:
+    sweep = sweep or Sweep(settings)
+    config = dynamic_config(3)
+    mem_latency = config.memory.min_latency
+    result = ExperimentResult(
+        exp_id="ablation_learned",
+        title="Learned bandit controllers vs the comparator table "
+              "(IPC / static:1)",
+        headers=["program", "static:1 ipc"] + list(POLICIES),
+    )
+
+    def policy_for(name: str):
+        return make_policy(name, config.max_level, mem_latency)
+
+    def run_block(programs) -> dict[str, list[float]]:
+        ratios: dict[str, list[float]] = {p: [] for p in POLICIES}
+        for program in programs:
+            base = sweep.run(program, config,
+                             key_extra=("policy", BASELINE),
+                             policy=policy_for(BASELINE))
+            row = [program, f"{base.ipc:.3f}"]
+            for name in POLICIES:
+                res = sweep.run(program, config, key_extra=("policy", name),
+                                policy=policy_for(name))
+                ratio = res.ipc / base.ipc
+                ratios[name].append(ratio)
+                row.append(f"{ratio:.2f}")
+            result.rows.append(row)
+        return ratios
+
+    def summarise(prefix: str, label: str,
+                  ratios: dict[str, list[float]]) -> None:
+        gm_row = [f"GM {label}", ""]
+        gms = {}
+        for name in POLICIES:
+            gm = geometric_mean(ratios[name])
+            gms[name] = gm
+            gm_row.append(f"{gm:.2f}")
+            result.series[f"{prefix}gm_{name}"] = gm
+        result.rows.append(gm_row)
+        # static:1 is the normalisation baseline, so its GM is 1.0 by
+        # definition; best-fixed compares the three static choices
+        best_fixed = max(1.0, gms["static:2"], gms["static:3"])
+        result.series[f"{prefix}gm_best_fixed"] = best_fixed
+
+    paper_ratios = run_block(sweep.settings.programs())
+    summarise("", "paper set", paper_ratios)
+    adv_ratios = run_block(ADVERSARIAL_PROGRAMS)
+    summarise("adv_", "adversarial", adv_ratios)
+
+    ucb = result.series["adv_gm_bandit:ucb"]
+    best_fixed = result.series["adv_gm_best_fixed"]
+    dyn_gap = (result.series["gm_bandit:ucb"]
+               / max(result.series["gm_mlp"], 1e-12))
+    result.series["adv_bandit_vs_best_fixed"] = ucb / max(best_fixed, 1e-12)
+    result.series["paper_bandit_vs_dyn"] = dyn_gap
+    result.notes.append(
+        f"adversarial set: bandit:ucb GM {ucb:.3f} vs best fixed "
+        f"{best_fixed:.3f} ({'>=' if ucb >= best_fixed else '<'}); "
+        "no hand-tuned policy wins all three traces by construction")
+    result.notes.append(
+        f"paper set: bandit:ucb at {dyn_gap:.1%} of DYN's geomean — the "
+        "residual is online exploration cost (a few dozen scoring "
+        "windows per run at this simulation scale)")
+    result.notes.append(
+        "expected: mlp (DYN) loses to static:1 on adv_missburst (its "
+        "enlarge trigger fires on store misses no window can hide); "
+        "every fixed level loses somewhere on adv_phaseflip")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(cli_settings(description=__doc__)).as_text())

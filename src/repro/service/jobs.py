@@ -220,6 +220,17 @@ def build_spec(payload: dict, *, sanitize: bool = False,
         if not isinstance(policy_name, str):
             raise ValidationError(f"'policy' must be a string, "
                                   f"got {policy_name!r}")
+        if policy_name.startswith("table:"):
+            # a table: spec names a file on the *executing* host —
+            # letting requests open server-side paths is both a
+            # traversal hazard and unreproducible across workers
+            # (the fingerprint covers table contents, not the path,
+            # but two workers could resolve the path differently).
+            raise ValidationError(
+                "'table:' policies load a local artifact file and are "
+                "not accepted as service jobs; run them through the "
+                "batch path (repro.experiments) on the host that owns "
+                "the artifact")
         try:
             policy = make_policy(policy_name, config.level,
                                  config.memory.min_latency)

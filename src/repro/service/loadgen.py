@@ -29,7 +29,8 @@ from repro.telemetry.profiler import LatencyReservoir
 from repro.workloads import program_names
 
 #: default program pool: a memory-bound / compute-bound mix
-DEFAULT_PROGRAMS = ("mcf", "leslie3d", "libquantum", "gcc", "namd", "povray")
+DEFAULT_PROGRAMS = ("mcf", "leslie3d", "libquantum", "milc", "gcc", "namd",
+                    "povray")
 
 MODELS = ("base", "fixed", "ideal", "dynamic", "runahead")
 

@@ -51,7 +51,10 @@ class TelemetryProbe:
     micro-op deltas (width utilisation), demand L2-miss and stop-alloc
     deltas, and per-bucket CPI-stack stall slots.  Recorded as events:
     every ``grow``/``shrink`` level transition, the onset of a
-    stall-to-drain episode, and every demand L2-miss detection.
+    stall-to-drain episode, every demand L2-miss detection, and — when
+    the attached policy is a learned controller exposing a ``listener``
+    hook (:class:`repro.core.BanditWindowPolicy`) — every arm
+    selection (``pull``) and per-window score (``reward``).
 
     ``profile=True`` additionally attaches a
     :class:`~repro.telemetry.profiler.StageProfiler` measuring host
@@ -72,6 +75,7 @@ class TelemetryProbe:
         self._saved: list[tuple[str, bool, object]] = []
         self._detached = False
         self._was_draining = False
+        self._listener_policy = None
 
     # ------------------------------------------------------------------
     # attach / detach
@@ -139,6 +143,14 @@ class TelemetryProbe:
         self._shadow("_apply_level", _apply_level)
 
         proc.hierarchy.add_l2_miss_listener(self._on_l2_miss)
+        # learned controllers expose a per-decision observer hook: every
+        # arm selection ("pull") and per-window score ("reward") becomes
+        # a policy event.  The hook only records — digest neutrality is
+        # the policy's contract (its decisions never read the listener).
+        policy = getattr(proc, "policy", None)
+        if hasattr(policy, "listener"):
+            self._listener_policy = policy
+            policy.listener = self._on_policy_event
         if self.profiler is not None:
             self.profiler.attach(proc)
         return self
@@ -156,6 +168,9 @@ class TelemetryProbe:
             else:
                 del proc.__dict__[name]
         self._saved.clear()
+        if self._listener_policy is not None:
+            self._listener_policy.listener = None
+            self._listener_policy = None
         proc.telemetry = None
         self._detached = True
 
@@ -164,6 +179,12 @@ class TelemetryProbe:
             return
         self.telemetry.add_event(PolicyEvent(
             detect_cycle, "l2_miss", self.proc.level))
+
+    def _on_policy_event(self, cycle: int, kind: str, level: int,
+                         detail: str) -> None:
+        if self._detached:
+            return
+        self.telemetry.add_event(PolicyEvent(cycle, kind, level, detail))
 
     # ------------------------------------------------------------------
     # sampling

@@ -44,9 +44,12 @@ STALL_REASONS = ("mem_dram", "mem_cache", "mem_forward", "deps",
 
 #: Policy-event kinds a probe can record: window level transitions
 #: (``grow``/``shrink``), the controller stopping allocation to drain
-#: the region being removed (``drain``) and demand L2-miss detections
-#: (``l2_miss``) — the cause the grows should line up with.
-EVENT_KINDS = ("grow", "shrink", "drain", "l2_miss")
+#: the region being removed (``drain``), demand L2-miss detections
+#: (``l2_miss``) — the cause the grows should line up with — and, for
+#: the learned bandit controllers, every arm selection (``pull``) and
+#: per-window score (``reward``); the detail string carries the arm,
+#: context and reward value for ``tools/train_policy_table.py``.
+EVENT_KINDS = ("grow", "shrink", "drain", "l2_miss", "pull", "reward")
 
 _SAMPLE_FIELDS = (
     "cycle", "cycles", "level",

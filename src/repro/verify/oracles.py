@@ -39,8 +39,11 @@ SMOKE_MEASURE = 6_000
 SMOKE_TRACE_OPS = SMOKE_WARMUP + SMOKE_MEASURE + 1_000
 SMOKE_SEED = 1
 
-#: The adaptive policies the pin-equivalence oracle constrains.
-ADAPTIVE_POLICIES: tuple[str, ...] = ("mlp", "occupancy", "contribution")
+#: The adaptive policies the pin-equivalence oracle constrains.  The
+#: bandit family is enrolled like any other comparator: ``.pin(N)``
+#: must reduce it to the inert static fast path, exploration and all.
+ADAPTIVE_POLICIES: tuple[str, ...] = ("mlp", "occupancy", "contribution",
+                                      "bandit:ucb", "bandit:egreedy")
 
 
 @dataclass
@@ -278,16 +281,19 @@ def _no_miss_trace(n_ops: int = 4_000) -> Trace:
 
 
 def check_degenerate_memory(policies=("mlp", "static", "occupancy",
-                                      "contribution"),
+                                      "contribution", "bandit:ucb",
+                                      "bandit:egreedy"),
                             n_ops: int = 4_000) -> list[OracleOutcome]:
     """With no demand L2 misses, the MLP trigger never fires.
 
     Every policy runs the same warm-everything trace.  All runs must
     observe zero demand misses; on top of that the MLP-aware policy
-    (whose *only* enlarge trigger is a demand miss) and the static
-    policy must never leave level 1.  The feedback comparators are
-    allowed to trial levels — that is their design — so for them the
-    oracle only checks the no-miss premise held.
+    (whose *only* enlarge trigger is a demand miss), the static policy
+    and the bandit family (whose arms above level 1 are only eligible
+    while demand misses are recent) must never leave level 1.  The
+    feedback comparators are allowed to trial levels — that is their
+    design — so for them the oracle only checks the no-miss premise
+    held.
     """
     outcomes = []
     config = dynamic_config(3)
@@ -311,7 +317,7 @@ def check_degenerate_memory(policies=("mlp", "static", "occupancy",
         outcomes.append(OracleOutcome(
             "degenerate-memory", f"{name} zero demand misses", premise,
             "" if premise else f"{misses} demand L2 misses detected"))
-        if name in ("mlp", "static"):
+        if name in ("mlp", "static") or name.startswith("bandit:"):
             stayed = (proc.stats.level_transitions == []
                       and set(proc.stats.level_cycles) <= {1})
             outcomes.append(OracleOutcome(
@@ -319,6 +325,76 @@ def check_degenerate_memory(policies=("mlp", "static", "occupancy",
                 "" if stayed else
                 f"transitions={proc.stats.level_transitions[:6]} "
                 f"level_cycles={proc.stats.level_cycles}"))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# 3b. seeded replay
+
+
+#: Memory-intensive smoke programs: L2 misses keep the bandit's arms
+#: eligible, so exploration actually happens and the replay assertion
+#: has teeth.
+SEEDED_REPLAY_PROGRAMS: tuple[str, ...] = ("libquantum", "milc")
+
+
+def check_seeded_replay(programs=SEEDED_REPLAY_PROGRAMS,
+                        seeds=(1, 7)) -> list[OracleOutcome]:
+    """Seeded exploration must replay bit-identically, and the seed
+    must key the result.
+
+    Three relations per (program, bandit kind):
+
+    * *replay* — two runs with the same seed, fresh policy objects,
+      produce bit-identical stat digests.  Any divergence means the
+      exploration sequence leaked state from somewhere other than
+      ``(seed, draw_index)`` — host hash order, process state, a
+      stale class attribute;
+    * *engine replay* — the same seeded run on the reference and fast
+      engines is bit-identical.  The bandit ticks every cycle, so this
+      is the policy-timer quiescence obligation exercised through the
+      learned controller's own state machine;
+    * *seed keying* — different seeds yield different ``result_key``
+      content addresses (the seed rides the policy fingerprint), so a
+      cached campaign can never serve seed A's run for seed B.
+    """
+    from repro.experiments.cache import result_key
+
+    outcomes = []
+    config = dynamic_config(3)
+
+    def bandit(kind: str, seed: int):
+        return make_policy(f"bandit:{kind}:{seed}", config.max_level,
+                           config.memory.min_latency)
+
+    for program in programs:
+        trace = smoke_trace(program)
+        for kind in ("ucb", "egreedy"):
+            subject = f"{program} bandit:{kind}"
+            ref = _smoke_run(config, trace, policy=bandit(kind, seeds[0]))
+            ref_digest = result_digest(ref)
+            replay = _smoke_run(config, trace,
+                                policy=bandit(kind, seeds[0]))
+            same = result_digest(replay) == ref_digest
+            outcomes.append(OracleOutcome(
+                "seeded-replay", f"{subject} same-seed digest", same,
+                "" if same else _digest_mismatch_detail(ref, replay)))
+            fast = _smoke_run(config, trace, engine="fast",
+                              policy=bandit(kind, seeds[0]))
+            same = result_digest(fast) == ref_digest
+            outcomes.append(OracleOutcome(
+                "seeded-replay", f"{subject} engine digest", same,
+                "" if same else _digest_mismatch_detail(ref, fast)))
+            keys = [result_key(program, config, seed=SMOKE_SEED,
+                               warmup=SMOKE_WARMUP, measure=SMOKE_MEASURE,
+                               trace_ops=SMOKE_TRACE_OPS,
+                               policy=bandit(kind, seed))
+                    for seed in seeds]
+            distinct = len(set(keys)) == len(keys)
+            outcomes.append(OracleOutcome(
+                "seeded-replay", f"{subject} seed keys result", distinct,
+                "" if distinct else
+                f"seeds {seeds} collide on result_key {keys[0][:16]}..."))
     return outcomes
 
 
@@ -401,6 +477,9 @@ def run_all_oracles(programs=SMOKE_CORPUS) -> list[OracleOutcome]:
         tuple(p for p in programs if p in MONOTONE_PROGRAMS)
         or MONOTONE_PROGRAMS)
     outcomes += check_degenerate_memory()
+    outcomes += check_seeded_replay(
+        tuple(p for p in programs if p in SEEDED_REPLAY_PROGRAMS)
+        or SEEDED_REPLAY_PROGRAMS)
     outcomes += check_fast_forward_equivalence(programs)
     outcomes += check_engine_equivalence(programs)
     return outcomes

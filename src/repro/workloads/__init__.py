@@ -34,6 +34,11 @@ from repro.workloads.profiles import (
     profile,
     program_names,
 )
+from repro.workloads.adversarial import (
+    ADVERSARIAL_PROFILES,
+    ADVERSARIAL_PROGRAMS,
+    adversarial_profile,
+)
 from repro.workloads.kernels import (
     KERNELS,
     compute_kernel,
@@ -59,6 +64,9 @@ __all__ = [
     "generate_trace",
     "Trace",
     "WrongPathSynthesizer",
+    "ADVERSARIAL_PROFILES",
+    "ADVERSARIAL_PROGRAMS",
+    "adversarial_profile",
     "PROFILES",
     "MEMORY_INTENSIVE",
     "COMPUTE_INTENSIVE",

@@ -1,0 +1,132 @@
+"""Adversarial phase traces: where the fixed comparators provably lose.
+
+The 28 Table-3 profiles are *representative* — each comparator policy
+gets close to its best behaviour on most of them.  The learned-policy
+evaluation (``experiments/ablation_learned.py``) additionally needs
+traces constructed so that specific comparators are demonstrably
+suboptimal, because a controller that merely matches the best fixed
+level on friendly inputs has not demonstrated selection:
+
+* ``adv_phaseflip`` — rapid alternation between a scatter phase with
+  abundant MLP and a deep-chain compute phase.  Any *fixed* level loses
+  somewhere: level 1 forfeits the memory phase's MLP, level 3 pays the
+  pipelined-window ILP penalty through every compute phase.
+* ``adv_missburst`` — short write-stream flush bursts (streaming store
+  misses over a cold region) separated by long dependent-chain compute
+  grinds.  The store misses fire DYN's enlarge trigger on every burst,
+  but retiring stores never blocks the window — there is nothing for a
+  bigger window to overlap, and the enlarged window then pays the ILP
+  penalty through the whole compute grind that follows.  The best
+  policy here is to stay small, which DYN's miss-driven control law
+  cannot learn but an outcome-measuring controller can.
+* ``adv_deceptive`` — memory/compute phases whose length sits right at
+  the ContributionPolicy probe period (4096 cycles at IPC ~1), so its
+  trial windows systematically straddle phase boundaries: the rate it
+  measures for a trial belongs to the *next* phase, and its keep/revert
+  feedback is confounded by design.
+
+These live in their own registry — :data:`ADVERSARIAL_PROFILES` — and
+are deliberately **not** part of :data:`repro.workloads.PROFILES`: the
+28-program table mirrors the paper's Table 3 and every campaign/series
+that iterates ``program_names()`` must keep meaning exactly that set.
+``repro.workloads.profile()`` falls back to this registry, so sweeps,
+experiments and the verify tooling can request adversarial programs by
+name like any other.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import MemoryBehavior, PhaseSpec, ProgramProfile
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _phase(name: str, length: int, *, load: float = 0.25, store: float = 0.1,
+           chain: int = 2, noisy: float = 0.0, bias: float = 0.002,
+           longop: float = 0.08, blocks: int = 4, block_ops: int = 12,
+           mem: MemoryBehavior | None = None) -> PhaseSpec:
+    return PhaseSpec(name=name, length=length, load_frac=load,
+                     store_frac=store, chain_depth=chain,
+                     noisy_branch_frac=noisy, bias_taken_prob=bias,
+                     longop_frac=longop, blocks=blocks, block_ops=block_ops,
+                     mem=mem if mem is not None else MemoryBehavior())
+
+
+#: Sparse independent scattered loads over a far-beyond-L2 working set.
+#: Sparse is the point: at ~3% missing ops, a 128-entry ROB holds only a
+#: handful of concurrent misses while the level-3 window holds 4x more,
+#: all overlappable — so the achievable MLP scales with window size
+#: instead of saturating the MSHRs at every level.
+_MLP_BURST = MemoryBehavior(scatter=0.10, hot=0.90,
+                            working_set_bytes=24 * MB,
+                            hot_set_bytes=8 * KB)
+
+#: Deep-chain ILP code over a cache-resident set: the pipelined-window
+#: wakeup gap of levels 2/3 costs ~30% IPC here, so every cycle spent
+#: enlarged is a measured loss.
+_COMPUTE = MemoryBehavior(hot=1.0, hot_set_bytes=8 * KB)
+
+#: A cold write stream: every store opens a fresh cache line of a
+#: far-beyond-L2 stream (stride = one line), so each one is a demand L2
+#: miss — but stores retire *after* commit, so no window of any size
+#: can overlap their latency with anything.  They trigger miss-driven
+#: enlargement without offering any MLP a larger window could harvest.
+#: (The prefetcher trains on loads only, so the stream stays cold.)
+_WRITE_FLUSH = MemoryBehavior(hot=1.0, hot_set_bytes=8 * KB,
+                              store_stream_frac=1.0,
+                              stream_bytes=24 * MB, stride_bytes=64)
+
+
+ADVERSARIAL_PROFILES: dict[str, ProgramProfile] = {
+    profile.name: profile for profile in (
+        # Phase lengths are balanced in *cycles*, not ops: the memory
+        # phases run near IPC 0.1-0.3 and the compute phases near 1.2,
+        # so a compute phase needs several times the ops to occupy
+        # comparable time.
+        ProgramProfile(
+            name="adv_phaseflip", category="int", memory_intensive=True,
+            phases=(
+                _phase("mlpburst", 2_500, load=0.30, store=0.05, chain=1,
+                       mem=_MLP_BURST),
+                _phase("ilpcore", 9_000, load=0.10, store=0.04, chain=6,
+                       longop=0.20, mem=_COMPUTE),
+            )),
+        # A short "flush" burst of cold-stream stores fires ~8 demand
+        # L2 misses that commit has already retired past, then deep-
+        # chain compute follows.  The bursts recur well inside DYN's
+        # one-memory-latency shrink-timer horizon, so the miss-driven
+        # controller sits enlarged through most of the compute — paying
+        # the pipelined-window ILP penalty for misses that never had
+        # latency a window could hide.
+        ProgramProfile(
+            name="adv_missburst", category="int", memory_intensive=True,
+            phases=(
+                _phase("flush", 10, load=0.0, store=0.90, chain=2,
+                       blocks=1, block_ops=8, mem=_WRITE_FLUSH),
+                _phase("grind", 700, load=0.08, store=0.04, chain=6,
+                       longop=0.20, mem=_COMPUTE),
+            )),
+        ProgramProfile(
+            name="adv_deceptive", category="int", memory_intensive=True,
+            phases=(
+                _phase("lure", 400, load=0.30, store=0.05, chain=1,
+                       mem=_MLP_BURST),
+                _phase("trap", 4_400, load=0.10, store=0.04, chain=6,
+                       longop=0.20, mem=_COMPUTE),
+            )),
+    )
+}
+
+#: Evaluation order for the adversarial table.
+ADVERSARIAL_PROGRAMS: tuple[str, ...] = tuple(ADVERSARIAL_PROFILES)
+
+
+def adversarial_profile(name: str) -> ProgramProfile:
+    """Look up an adversarial profile by name."""
+    try:
+        return ADVERSARIAL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adversarial program {name!r}; known: "
+            f"{', '.join(ADVERSARIAL_PROFILES)}") from None

@@ -347,12 +347,23 @@ SELECTED_COMPUTE: tuple[str, ...] = (
 
 
 def profile(name: str) -> ProgramProfile:
-    """Look up a profile by SPEC2006 program name."""
+    """Look up a profile by SPEC2006 program name.
+
+    Falls back to the adversarial registry
+    (:mod:`repro.workloads.adversarial`), so sweeps and experiments can
+    request ``adv_*`` programs by name — without those ever joining
+    :data:`PROFILES`, which must keep mirroring the paper's Table 3.
+    """
     try:
         return PROFILES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown program {name!r}; known: {', '.join(PROFILES)}") from None
+        from repro.workloads.adversarial import ADVERSARIAL_PROFILES
+        try:
+            return ADVERSARIAL_PROFILES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown program {name!r}; known: {', '.join(PROFILES)} "
+                f"(adversarial: {', '.join(ADVERSARIAL_PROFILES)})") from None
 
 
 def program_names(memory_only: bool = False,

@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import LEVEL_TABLE
 from repro.core import (
+    BanditWindowPolicy,
     ContributionPolicy,
     MLPAwarePolicy,
     OccupancyPolicy,
@@ -162,9 +163,22 @@ class TestFactory:
         ("occupancy", OccupancyPolicy),
         ("contribution", ContributionPolicy),
         ("static", StaticPolicy),
+        ("bandit:ucb", BanditWindowPolicy),
+        ("bandit:egreedy", BanditWindowPolicy),
+        ("bandit:ucb:7", BanditWindowPolicy),
     ])
     def test_known_names(self, name, cls):
         assert isinstance(make_policy(name, 3, 300), cls)
+
+    def test_bandit_seed_parsed(self):
+        assert make_policy("bandit:ucb:7", 3, 300).seed == 7
+        assert make_policy("bandit:ucb", 3, 300).seed == 1
+
+    @pytest.mark.parametrize("name", ["bandit", "bandit:thompson",
+                                      "bandit:ucb:nope"])
+    def test_bad_bandit_specs(self, name):
+        with pytest.raises(ValueError):
+            make_policy(name, 3, 300)
 
     @pytest.mark.parametrize("level", [1, 2, 3])
     def test_static_with_level(self, level):
@@ -218,7 +232,8 @@ class TestOccupancyElapsedDenominator:
 
 
 class TestPinning:
-    @pytest.mark.parametrize("name", ["mlp", "occupancy", "contribution"])
+    @pytest.mark.parametrize("name", ["mlp", "occupancy", "contribution",
+                                      "bandit:ucb", "bandit:egreedy"])
     def test_pin_freezes_level(self, name):
         p = make_policy(name, 3, 300).pin(2)
         assert p.pinned_level == 2

@@ -23,7 +23,8 @@ from repro.verify import (
     result_digest,
 )
 from repro.verify.golden import check_golden, write_golden
-from repro.verify.oracles import report, smoke_trace, _smoke_run
+from repro.verify.oracles import (
+    ADAPTIVE_POLICIES, report, smoke_trace, _smoke_run)
 
 
 @pytest.fixture(scope="module")
@@ -71,8 +72,11 @@ class TestPinEquivalenceOracle:
     def test_passes_on_gcc_all_policies(self):
         outcomes = check_pin_equivalence(
             programs=("gcc",), levels=(2,))
-        assert len(outcomes) == 3
+        assert len(outcomes) == len(ADAPTIVE_POLICIES)
         assert all(o.passed for o in outcomes), report(outcomes)
+        subjects = [o.subject for o in outcomes]
+        for name in ("bandit:ucb", "bandit:egreedy"):
+            assert any(name in s for s in subjects)
 
     def test_pinned_run_is_bit_identical_to_static(self):
         """The oracle's core relation, asserted directly for one pair —
@@ -87,18 +91,22 @@ class TestPinEquivalenceOracle:
 
 
 class TestDegenerateMemoryOracle:
-    def test_all_four_policy_names(self):
+    def test_all_policy_families(self):
         """Satellite requirement: the degenerate-memory oracle covers
-        every make_policy name (static included)."""
+        every make_policy family (static and the bandits included)."""
         outcomes = check_degenerate_memory(
-            policies=("mlp", "static", "occupancy", "contribution"))
+            policies=("mlp", "static", "occupancy", "contribution",
+                      "bandit:ucb", "bandit:egreedy"))
         assert all(o.passed for o in outcomes), report(outcomes)
         subjects = [o.subject for o in outcomes]
-        for name in ("mlp", "static", "occupancy", "contribution"):
+        for name in ("mlp", "static", "occupancy", "contribution",
+                     "bandit:ucb", "bandit:egreedy"):
             assert any(s.startswith(name) for s in subjects)
         # the level-1 pinning claim is asserted for the policies whose
-        # only trigger is a demand miss
+        # only trigger is a demand miss — miss-gated exploration makes
+        # the bandits part of that set
         assert any("mlp stays at level 1" in s for s in subjects)
+        assert any("bandit:ucb stays at level 1" in s for s in subjects)
 
 
 class TestMonotonicityOracle:

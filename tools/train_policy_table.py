@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Distil bandit telemetry into a static ``table:`` policy artifact.
+
+The bandit controllers (``bandit:ucb`` / ``bandit:egreedy``) learn
+online, paying for every lesson with exploration windows.  This tool
+converts what they learned into a :class:`repro.core.TablePolicy` —
+a zero-exploration miss-bucket → level decision table — by replaying
+the ``reward`` events out of one or more telemetry JSONL artifacts
+(recorded with ``--telemetry`` on any campaign, or ``telemetry_period``
+on a service job).
+
+For every scored window the recording pairs the arm played (the window
+level) with the demand L2 misses the *sample* ring observed over the
+same interval.  Bucketing those windows by miss count and picking, per
+bucket, the level with the highest mean reward yields the table; the
+bucket boundaries are the miss counts actually observed, merged down to
+``--buckets`` thresholds.  Buckets with no observations inherit the
+nearest observed bucket's level, and the result is forced monotone
+(non-decreasing level with miss count) unless ``--no-monotone`` — the
+paper's premise is that more outstanding misses never justify a
+*smaller* window.
+
+Usage::
+
+    python tools/train_policy_table.py .simcache/telemetry/*.jsonl \
+        -o results/policy_table.json
+    python - <<'PY'
+    from repro.core import make_policy
+    make_policy("table:results/policy_table.json", 3, 300)
+    PY
+
+The artifact is plain JSON — ``{"thresholds": [...], "levels": [...],
+"period": N}`` — loadable via ``make_policy("table:<path>", ...)`` or
+:meth:`repro.core.TablePolicy.from_file`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.core.learned import TablePolicy  # noqa: E402
+from repro.telemetry.recorder import Telemetry  # noqa: E402
+
+_REWARD = re.compile(r"arm=(\d+) ctx=\d+ reward=(-?\d+\.?\d*)")
+
+
+def windows_from_artifact(tel: Telemetry) -> list[tuple[int, int, float]]:
+    """``(misses, level, reward)`` per scored bandit window.
+
+    The reward events carry arm and reward; the interval samples carry
+    the miss deltas.  Each reward is matched with the misses observed
+    over the scoring window that produced it — the samples whose
+    trailing edge falls inside ``(previous reward cycle, this one]``.
+    """
+    rewards = [(e.cycle, e.level, m.group(1), m.group(2))
+               for e in tel.events if e.kind == "reward"
+               if (m := _REWARD.match(e.detail))]
+    samples = sorted(tel.samples, key=lambda s: s.cycle)
+    windows = []
+    prev_cycle = None
+    for cycle, level, arm, reward in rewards:
+        lo = prev_cycle if prev_cycle is not None else cycle - tel.period
+        misses = sum(s.l2_misses for s in samples if lo < s.cycle <= cycle)
+        windows.append((misses, int(arm), float(reward)))
+        prev_cycle = cycle
+    return windows
+
+
+def build_table(windows: list[tuple[int, int, float]], max_level: int,
+                n_buckets: int, monotone: bool = True,
+                period: int = 2_048) -> dict:
+    """Pick the best-mean-reward level per miss bucket."""
+    if not windows:
+        raise SystemExit("no bandit reward events found in the input "
+                         "artifacts — record them with a bandit:* policy "
+                         "and --telemetry")
+    counts = sorted({misses for misses, _, _ in windows})
+    # thresholds = observed miss counts, thinned to n_buckets - 1 upper
+    # bounds (the last bucket is open-ended)
+    if len(counts) > n_buckets - 1:
+        step = len(counts) / (n_buckets - 1)
+        thresholds = sorted({counts[min(int(i * step), len(counts) - 1)]
+                             for i in range(1, n_buckets)})
+    else:
+        thresholds = counts[1:] if len(counts) > 1 else []
+
+    def bucket_of(misses: int) -> int:
+        for i, bound in enumerate(thresholds):
+            if misses <= bound:
+                return i
+        return len(thresholds)
+
+    n = len(thresholds) + 1
+    sums = [[0.0] * (max_level + 1) for _ in range(n)]
+    plays = [[0] * (max_level + 1) for _ in range(n)]
+    for misses, level, reward in windows:
+        if 1 <= level <= max_level:
+            b = bucket_of(misses)
+            sums[b][level] += reward
+            plays[b][level] += 1
+    levels: list[int | None] = []
+    for b in range(n):
+        scored = [(sums[b][lv] / plays[b][lv], lv)
+                  for lv in range(1, max_level + 1) if plays[b][lv]]
+        levels.append(max(scored)[1] if scored else None)
+    # unobserved buckets inherit the nearest observed neighbour
+    observed = [i for i, lv in enumerate(levels) if lv is not None]
+    if not observed:
+        raise SystemExit("reward events carried no in-range arms")
+    filled = [levels[min(observed, key=lambda i, b=b: abs(i - b))]
+              if levels[b] is None else levels[b] for b in range(n)]
+    if monotone:
+        for i in range(1, n):
+            filled[i] = max(filled[i], filled[i - 1])
+    return {"thresholds": list(thresholds), "levels": filled,
+            "period": period,
+            "trained_windows": len(windows)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="distil bandit telemetry into a table: policy artifact")
+    parser.add_argument("artifacts", nargs="+",
+                        help="telemetry JSONL files (bandit runs)")
+    parser.add_argument("-o", "--out", required=True,
+                        help="output JSON artifact path")
+    parser.add_argument("--max-level", type=int, default=3)
+    parser.add_argument("--buckets", type=int, default=4,
+                        help="max miss buckets (default 4)")
+    parser.add_argument("--period", type=int, default=2_048,
+                        help="decision period of the resulting policy")
+    parser.add_argument("--no-monotone", action="store_true",
+                        help="keep raw per-bucket winners instead of "
+                             "forcing level monotone in miss count")
+    args = parser.parse_args(argv)
+
+    windows: list[tuple[int, int, float]] = []
+    for path in args.artifacts:
+        tel = Telemetry.from_jsonl(path)
+        found = windows_from_artifact(tel)
+        print(f"{path}: {len(found)} scored windows "
+              f"({tel.meta.get('program', '?')})")
+        windows.extend(found)
+    table = build_table(windows, args.max_level, args.buckets,
+                        monotone=not args.no_monotone, period=args.period)
+    # round-trip through the policy's own validation before writing
+    TablePolicy(args.max_level, thresholds=table["thresholds"],
+                levels=table["levels"], period=table["period"])
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(table, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}: thresholds={table['thresholds']} "
+          f"levels={table['levels']} from {table['trained_windows']} windows")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
