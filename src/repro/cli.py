@@ -24,7 +24,9 @@ from repro.config import (
 )
 from repro.energy import EnergyModel
 from repro.pipeline import simulate
-from repro.workloads import PROFILES, generate_trace, profile
+from repro.workloads import (PROFILES, UnknownProgramError, ensure_program,
+                             trace_for_program)
+from repro.workloads.riscv import riscv_program_names
 
 _MODELS = {
     "base": lambda level: base_config(),
@@ -36,18 +38,21 @@ _MODELS = {
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("program", choices=sorted(PROFILES),
-                        metavar="PROGRAM",
-                        help="SPEC2006 program profile name")
+    parser.add_argument("program", metavar="PROGRAM",
+                        help="SPEC2006 profile name or riscv:<kernel> "
+                             "(see 'python -m repro programs')")
     parser.add_argument("--measure", type=int, default=15_000)
     parser.add_argument("--warmup", type=int, default=4_000)
     parser.add_argument("--seed", type=int, default=1)
 
 
 def _simulate(args, model: str, level: int):
-    trace = generate_trace(profile(args.program),
-                           n_ops=args.warmup + args.measure + 1000,
-                           seed=args.seed)
+    try:
+        trace = trace_for_program(args.program,
+                                  n_ops=args.warmup + args.measure + 1000,
+                                  seed=args.seed)
+    except UnknownProgramError as exc:
+        raise SystemExit(str(exc)) from None
     config = _MODELS[model](level)
     result = simulate(config, trace, warmup=args.warmup,
                       measure=args.measure)
@@ -94,16 +99,17 @@ def cmd_smt(args) -> int:
     from repro.pipeline import simulate_smt
 
     programs = args.programs.split("+")
-    unknown = [p for p in programs if p not in PROFILES]
-    if unknown:
-        raise SystemExit(f"unknown program(s): {', '.join(unknown)} "
-                         f"(see 'python -m repro programs')")
+    try:
+        for part in programs:
+            ensure_program(part)
+    except UnknownProgramError as exc:
+        raise SystemExit(str(exc)) from None
     if not 1 <= len(programs) <= 4:
         raise SystemExit("SMT runs 1-4 threads, e.g. libquantum+sjeng")
     # headroom: a fast thread cannot pause while slower threads reach
     # the per-thread commit target, so its trace must run long
     n_ops = (args.warmup + args.measure) * 6
-    traces = [generate_trace(profile(p), n_ops=n_ops, seed=args.seed)
+    traces = [trace_for_program(p, n_ops=n_ops, seed=args.seed)
               for p in programs]
     config = smt_config(threads=len(programs), partition=args.partition,
                         fetch=args.fetch, level=args.level)
@@ -127,6 +133,11 @@ def cmd_programs(args) -> int:
                     else "compute-intensive")
         print(f"{name:<12} {prof.category:<5} {category:<18} "
               f"{prof.paper_load_latency:>15.0f} cyc")
+    corpus = riscv_program_names()
+    if corpus:
+        print("\nriscv trace corpus (benchmarks/riscv):")
+        for name in corpus:
+            print(f"  {name}")
     return 0
 
 

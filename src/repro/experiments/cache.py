@@ -131,10 +131,18 @@ def result_key(program: str, config: ProcessorConfig, *,
     and the policy fingerprint.  ``key_extra`` remains for callers that
     vary something not visible in config or policy (none today — kept
     for forward compatibility with the in-memory key).
+
+    The program participates via
+    :func:`repro.workloads.program_cache_identity`: synthetic names
+    stand for themselves, while ``riscv:`` trace workloads fold in
+    their trace content hash, so editing a corpus file invalidates
+    exactly the keys derived from it.
     """
     from repro.pipeline.core import SIM_VERSION
+    from repro.workloads import program_cache_identity
     payload = "|".join((
-        SIM_VERSION, program, str(seed), str(warmup), str(measure),
+        SIM_VERSION, program_cache_identity(program), str(seed),
+        str(warmup), str(measure),
         str(trace_ops), config_fingerprint(config),
         policy_fingerprint(policy), _stable_repr(key_extra)))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -35,7 +35,7 @@ from repro.experiments.cache import (
 )
 from repro.pipeline import simulate
 from repro.stats import SimulationResult
-from repro.workloads import generate_trace, profile
+from repro.workloads import trace_for_program
 
 
 def plan_campaign(exp_ids, settings, experiments=None) -> JobRecorder:
@@ -69,7 +69,7 @@ def _memo_trace(program: str, trace_ops: int, seed: int):
     memo_key = (program, trace_ops, seed)
     trace = _TRACE_MEMO.get(memo_key)
     if trace is None:
-        trace = generate_trace(profile(program), n_ops=trace_ops, seed=seed)
+        trace = trace_for_program(program, n_ops=trace_ops, seed=seed)
         _TRACE_MEMO[memo_key] = trace
     return trace
 

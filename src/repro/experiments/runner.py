@@ -33,9 +33,8 @@ from repro.energy import EnergyModel
 from repro.pipeline import simulate
 from repro.stats import SimulationResult, geometric_mean
 from repro.workloads import (
-    generate_trace,
-    profile,
     program_names,
+    trace_for_program,
     MEMORY_INTENSIVE,
     COMPUTE_INTENSIVE,
     SELECTED_MEMORY,
@@ -152,9 +151,9 @@ class Sweep:
     def trace(self, program: str):
         trace = self._traces.get(program)
         if trace is None:
-            trace = generate_trace(profile(program),
-                                   n_ops=self.settings.trace_ops,
-                                   seed=self.settings.seed)
+            trace = trace_for_program(program,
+                                      n_ops=self.settings.trace_ops,
+                                      seed=self.settings.seed)
             self._traces[program] = trace
         return trace
 

@@ -27,7 +27,8 @@ from repro.experiments.cache import ResultStore, telemetry_dir
 from repro.service.http import HttpServiceBase
 from repro.service.jobs import Job, ValidationError, build_spec
 from repro.service.metrics import ServiceMetrics
-from repro.workloads import PROFILES
+from repro.workloads import (all_program_names,
+                             workload_namespaces)
 
 #: terminal job records kept for GET /v1/jobs/<id>; oldest are evicted
 #: past this many total records so a long-lived server stays bounded.
@@ -218,7 +219,8 @@ class JobFrontendBase(HttpServiceBase):
             self._write_response(writer, 200, self.metrics.render())
         elif path == "/v1/programs" and method == "GET":
             self._write_response(writer, 200,
-                                 {"programs": sorted(PROFILES)})
+                                 {"programs": list(all_program_names()),
+                                  "namespaces": workload_namespaces()})
         elif path == "/v1/jobs" and method == "POST":
             try:
                 parsed = json.loads(body or b"null")

@@ -34,7 +34,7 @@ from repro.config import (
 from repro.core.policies import make_policy
 from repro.experiments.cache import JobSpec, result_key
 from repro.stats import SimulationResult
-from repro.workloads import PROFILES
+from repro.workloads import UnknownProgramError, ensure_program
 
 
 class ValidationError(ValueError):
@@ -81,6 +81,18 @@ def _require_int(payload: dict, name: str, default: int, *,
     if maximum is not None and value > maximum:
         raise ValidationError(f"{name!r} must be <= {maximum}, got {value}")
     return value
+
+
+def _ensure_known_program(program: str) -> None:
+    """Reject unknown program names across every workload namespace
+    (synthetic table, ``adv_*``, ``riscv:`` corpus) with one message."""
+    if not isinstance(program, str) or not program:
+        raise ValidationError(f"unknown program {program!r}; "
+                              "see GET /v1/programs")
+    try:
+        ensure_program(program)
+    except UnknownProgramError as exc:
+        raise ValidationError(f"{exc}; see GET /v1/programs") from None
 
 
 def _apply_overrides(config: ProcessorConfig, overrides: dict) -> ProcessorConfig:
@@ -171,12 +183,9 @@ def build_spec(payload: dict, *, sanitize: bool = False,
                 f"smt supports at most {_SMT_MAX_THREADS} threads, "
                 f"got {len(smt_programs)} programs")
         for part in smt_programs:
-            if part not in PROFILES:
-                raise ValidationError(
-                    f"unknown program {part!r}; see GET /v1/programs")
-    elif program not in PROFILES:
-        raise ValidationError(
-            f"unknown program {program!r}; see GET /v1/programs")
+            _ensure_known_program(part)
+    else:
+        _ensure_known_program(program)
 
     level = _require_int(payload, "level", _DEFAULT_LEVEL[model], minimum=1)
     if model == "smt":

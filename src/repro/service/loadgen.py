@@ -26,11 +26,13 @@ from dataclasses import dataclass, field
 
 from repro.service.client import QueueFull, ServiceClient, ServiceError
 from repro.telemetry.profiler import LatencyReservoir
-from repro.workloads import program_names
+from repro.workloads import known_program
 
-#: default program pool: a memory-bound / compute-bound mix
+#: default program pool: a memory-bound / compute-bound mix, plus one
+#: riscv trace workload so serving CI exercises the ingestion frontend
+#: under dedup/coalescing
 DEFAULT_PROGRAMS = ("mcf", "leslie3d", "libquantum", "milc", "gcc", "namd",
-                    "povray")
+                    "povray", "riscv:memcpy")
 
 MODELS = ("base", "fixed", "ideal", "dynamic", "runahead")
 
@@ -125,7 +127,7 @@ def run_load(client: ServiceClient, *, rps: float, duration: float,
     if rps <= 0 or duration <= 0:
         raise ValueError("rps and duration must be positive")
     programs = tuple(programs) if programs else DEFAULT_PROGRAMS
-    unknown = set(programs) - set(program_names())
+    unknown = {p for p in programs if not known_program(p)}
     if unknown:
         raise ValueError(f"unknown programs: {', '.join(sorted(unknown))}")
     shapes = build_job_mix(seed, distinct, programs,

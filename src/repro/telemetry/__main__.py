@@ -35,7 +35,7 @@ from repro.config import (
 from repro.pipeline import simulate
 from repro.telemetry import TelemetryProbe, Telemetry, render_report
 from repro.telemetry.report import grow_miss_coincidence
-from repro.workloads import generate_trace, profile
+from repro.workloads import trace_for_program
 
 
 def _make_config(model: str, level: int):
@@ -54,9 +54,9 @@ def _make_config(model: str, level: int):
 
 def _instrumented_run(args) -> TelemetryProbe:
     config = _make_config(args.model, args.level)
-    trace = generate_trace(profile(args.program),
-                           n_ops=args.warmup + args.measure + 1_000,
-                           seed=args.seed)
+    trace = trace_for_program(args.program,
+                              n_ops=args.warmup + args.measure + 1_000,
+                              seed=args.seed)
     probe = TelemetryProbe(period=args.period,
                            profile=getattr(args, "profile", False))
     simulate(config, trace, warmup=args.warmup, measure=args.measure,
@@ -96,9 +96,9 @@ def _cmd_smoke(args) -> int:
     config = _make_config(args.model, args.level)
 
     def fresh_trace():
-        return generate_trace(profile(args.program),
-                              n_ops=args.warmup + args.measure + 1_000,
-                              seed=args.seed)
+        return trace_for_program(args.program,
+                                 n_ops=args.warmup + args.measure + 1_000,
+                                 seed=args.seed)
 
     bare = simulate(config, fresh_trace(),
                     warmup=args.warmup, measure=args.measure)

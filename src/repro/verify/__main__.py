@@ -16,6 +16,11 @@ Subcommands:
 * ``fuzz`` — random-trace paired-run fuzzing through the parallel
   campaign executor (``--engines`` pairs the two execution engines
   instead of the ff/pin kinds);
+* ``riscv`` — the trace-frontend oracle suite
+  (:mod:`repro.verify.riscv_oracles`): decode round-trip, digest
+  determinism, reference↔fast bit-identity and committed golden
+  digests over the ``benchmarks/riscv`` corpus (``--regen`` rewrites
+  ``results/riscv_golden_digests.json``);
 * ``smt`` — the SMT oracle suite (:mod:`repro.verify.smt_oracles`):
   per-thread digest determinism, single-thread-SMT ≡ baseline
   pin-equivalence, per-cycle partition invariants and the fast-engine
@@ -62,6 +67,22 @@ def main(argv: list[str] | None = None) -> int:
     p_engines.add_argument("--programs", nargs="+", default=None,
                            help="programs (default: the full table)")
 
+    p_riscv = sub.add_parser(
+        "riscv", help="riscv trace-frontend oracles (round-trip, "
+                      "determinism, engine identity, goldens)")
+    p_riscv.add_argument("--programs", nargs="+", default=None,
+                         help="riscv:<kernel> names (default: the "
+                              "whole committed corpus)")
+    p_riscv.add_argument("--path", default=None,
+                         help="riscv golden digest file (default: "
+                              "results/riscv_golden_digests.json)")
+    p_riscv.add_argument("--engine", choices=("reference", "fast"),
+                         default=None,
+                         help="engine recomputing the golden digests")
+    p_riscv.add_argument("--regen", action="store_true",
+                         help="rewrite the riscv golden file instead "
+                              "of checking it")
+
     p_smt = sub.add_parser("smt", help="run the SMT oracle suite")
     p_smt.add_argument("--programs", nargs="+", default=None,
                        help="baseline-identity programs (default: the "
@@ -90,6 +111,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.oracles import check_engine_equivalence
         outcomes = check_engine_equivalence(
             tuple(args.programs) if args.programs else None)
+    elif command == "riscv":
+        from repro.verify.riscv_oracles import (RISCV_GOLDEN_PATH,
+                                                run_riscv_oracles,
+                                                write_riscv_golden)
+        path = args.path or RISCV_GOLDEN_PATH
+        if args.regen:
+            payload = write_riscv_golden(path, programs=args.programs)
+            cells = sum(len(v) for v in payload["digests"].values())
+            print(f"wrote {cells} riscv digests for SIM_VERSION "
+                  f"{payload['sim_version']} to {path}")
+            return 0
+        outcomes = run_riscv_oracles(args.programs, golden_path=path,
+                                     engine=args.engine)
     elif command == "smt":
         from repro.verify.smt_oracles import run_smt_oracles
         outcomes = run_smt_oracles(args.programs)

@@ -27,7 +27,7 @@ from repro.core import StaticPolicy, make_policy
 from repro.isa import MicroOp, OpClass
 from repro.pipeline import Processor, simulate
 from repro.verify.digest import diff_payloads, digest_payload, result_digest
-from repro.workloads import Trace, generate_trace, profile
+from repro.workloads import Trace, trace_for_program
 
 #: Two memory-intensive and two compute-intensive programs: enough to
 #: exercise both sides of every policy's decision logic.
@@ -81,7 +81,7 @@ def smoke_trace(program: str, seed: int = SMOKE_SEED,
     key = (program, n_ops, seed)
     trace = _TRACE_MEMO.get(key)
     if trace is None:
-        trace = generate_trace(profile(program), n_ops=n_ops, seed=seed)
+        trace = trace_for_program(program, n_ops=n_ops, seed=seed)
         _TRACE_MEMO[key] = trace
     return trace
 

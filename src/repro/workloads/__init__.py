@@ -15,6 +15,12 @@ knobs the resizing mechanism actually responds to —
 * branch predictability (paper Table 5 misprediction distances).
 
 See DESIGN.md §2 for the substitution argument.
+
+A second source grounds the reproduction in real code: the
+:mod:`repro.workloads.riscv` frontend decodes recorded RV64 dynamic
+traces (``riscv:<kernel>`` names, corpus under ``benchmarks/riscv/``)
+into the same :class:`~repro.workloads.trace.Trace` interface.  Use
+:func:`trace_for_program` to build a trace from any namespace.
 """
 
 from repro.workloads.generator import (
@@ -48,6 +54,15 @@ from repro.workloads.kernels import (
     stencil_kernel,
     stream_kernel,
 )
+from repro.workloads.errors import UnknownProgramError
+from repro.workloads.sources import (
+    all_program_names,
+    ensure_program,
+    known_program,
+    program_cache_identity,
+    trace_for_program,
+    workload_namespaces,
+)
 
 __all__ = [
     "KERNELS",
@@ -74,4 +89,11 @@ __all__ = [
     "SELECTED_COMPUTE",
     "profile",
     "program_names",
+    "UnknownProgramError",
+    "all_program_names",
+    "ensure_program",
+    "known_program",
+    "program_cache_identity",
+    "trace_for_program",
+    "workload_namespaces",
 ]

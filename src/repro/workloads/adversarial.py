@@ -127,6 +127,7 @@ def adversarial_profile(name: str) -> ProgramProfile:
     try:
         return ADVERSARIAL_PROFILES[name]
     except KeyError:
-        raise KeyError(
+        from repro.workloads.errors import UnknownProgramError
+        raise UnknownProgramError(
             f"unknown adversarial program {name!r}; known: "
             f"{', '.join(ADVERSARIAL_PROFILES)}") from None

@@ -1,0 +1,65 @@
+"""Unified error type for unknown workload/program names.
+
+Every workload source — the synthetic Table-3 profile table, the
+``adv_*`` adversarial generators, and the ``riscv:`` trace corpus —
+raises the same :class:`UnknownProgramError` for an unrecognised name,
+with a message that lists the available namespaces (mirroring the
+``make_policy`` convention of enumerating known specs in the error).
+
+The class subclasses :class:`KeyError` so existing callers (and tests)
+that catch ``KeyError`` keep working, but overrides ``__str__`` so the
+message renders as prose instead of ``KeyError``'s quoted repr.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnknownProgramError", "unknown_program"]
+
+
+class UnknownProgramError(KeyError):
+    """An unrecognised program name in any workload namespace."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.message
+
+
+def _preview(names, limit: int = 6) -> str:
+    names = list(names)
+    shown = ", ".join(names[:limit])
+    if len(names) > limit:
+        shown += ", ..."
+    return shown
+
+
+def unknown_program(name: str, *, detail: str = "") -> UnknownProgramError:
+    """Build the canonical unknown-program error for ``name``.
+
+    Registries are imported lazily so this module has no import-time
+    dependencies and can be imported from any workload source.
+    """
+    from repro.workloads.adversarial import ADVERSARIAL_PROFILES
+    from repro.workloads.profiles import PROFILES
+
+    try:  # corpus may be absent in a stripped checkout
+        from repro.workloads.riscv.corpus import riscv_program_names
+        riscv = riscv_program_names()
+    except Exception:  # pragma: no cover - defensive
+        riscv = ()
+    parts = [
+        f"{len(PROFILES)} synthetic profiles ({_preview(sorted(PROFILES))})",
+        "adversarial generators ({})".format(
+            _preview(sorted(ADVERSARIAL_PROFILES))),
+    ]
+    if riscv:
+        parts.append("riscv trace corpus ({})".format(_preview(riscv)))
+    else:
+        parts.append("riscv trace corpus (riscv:<kernel>; none on disk)")
+    head = f"unknown program {name!r}"
+    if detail:
+        head += f" ({detail})"
+    return UnknownProgramError(
+        head + "; available namespaces: " + "; ".join(parts))

@@ -361,9 +361,8 @@ def profile(name: str) -> ProgramProfile:
         try:
             return ADVERSARIAL_PROFILES[name]
         except KeyError:
-            raise KeyError(
-                f"unknown program {name!r}; known: {', '.join(PROFILES)} "
-                f"(adversarial: {', '.join(ADVERSARIAL_PROFILES)})") from None
+            from repro.workloads.errors import unknown_program
+            raise unknown_program(name) from None
 
 
 def program_names(memory_only: bool = False,

@@ -1,0 +1,29 @@
+"""RISC-V trace ingestion frontend: real-program workloads.
+
+This package decodes a compact RV64I(+M) dynamic-trace format into the
+simulator's :class:`~repro.isa.instructions.MicroOp` stream, making
+recorded real-program behaviour a second workload source alongside the
+synthetic profile generator.  See ``docs/workloads.md`` for the trace
+format, the ``tools/rv_trace.py`` converter, and how ``riscv:``
+programs flow through sweeps, campaigns and the service.
+"""
+
+from repro.workloads.riscv.corpus import (RISCV_PREFIX, clear_corpus_memo,
+                                          corpus_dir, load_corpus_program,
+                                          riscv_program_names)
+from repro.workloads.riscv.format import (RvInsn, TraceFormatError,
+                                          content_hash, pack, parse_text,
+                                          render_text, unpack)
+from repro.workloads.riscv.isa import (MNEMONIC_CLASS, MNEMONICS,
+                                       to_micro_op)
+from repro.workloads.riscv.kernels import (DEFAULT_OPS, KERNELS,
+                                           build_kernel, kernel_names)
+from repro.workloads.riscv.program import RiscvTraceProgram
+
+__all__ = [
+    "RISCV_PREFIX", "RvInsn", "RiscvTraceProgram", "TraceFormatError",
+    "MNEMONICS", "MNEMONIC_CLASS", "KERNELS", "DEFAULT_OPS",
+    "build_kernel", "kernel_names", "content_hash", "corpus_dir",
+    "clear_corpus_memo", "load_corpus_program", "pack", "parse_text",
+    "render_text", "riscv_program_names", "to_micro_op", "unpack",
+]

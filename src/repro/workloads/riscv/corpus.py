@@ -1,0 +1,90 @@
+"""The committed RISC-V trace corpus under ``benchmarks/riscv/``.
+
+Programs are addressed as ``riscv:<kernel>`` throughout the stack
+(registry, CLI, campaign specs, service payloads).  The corpus
+directory is located relative to the installed package (an editable
+install points back into the repo checkout) and can be overridden with
+``REPRO_RISCV_CORPUS`` — cluster workers that share no filesystem with
+the coordinator set it to their local checkout's copy.
+
+Loaded programs are memoised: the decode cost is paid once per process
+and every consumer (sweeps, campaign workers, the service, verify)
+shares the same :class:`RiscvTraceProgram` instances.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads.errors import unknown_program
+from repro.workloads.riscv.format import load_file
+from repro.workloads.riscv.program import RiscvTraceProgram
+
+__all__ = ["RISCV_PREFIX", "corpus_dir", "riscv_program_names",
+           "load_corpus_program", "clear_corpus_memo"]
+
+RISCV_PREFIX = "riscv:"
+_ENV_DIR = "REPRO_RISCV_CORPUS"
+_SUFFIXES = (".rvb", ".rvt")
+
+_memo: dict[str, RiscvTraceProgram] = {}
+
+
+def corpus_dir() -> str:
+    """The corpus directory (may not exist in stripped checkouts)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/workloads/riscv -> repo root
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(here))))
+    return os.path.join(root, "benchmarks", "riscv")
+
+
+def riscv_program_names() -> tuple[str, ...]:
+    """Qualified names of every corpus trace on disk, sorted."""
+    directory = corpus_dir()
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError:
+        return ()
+    names = []
+    for entry in entries:
+        stem, dot, suffix = entry.rpartition(".")
+        if dot and "." + suffix in _SUFFIXES and stem:
+            if RISCV_PREFIX + stem not in names:
+                names.append(RISCV_PREFIX + stem)
+    return tuple(names)
+
+
+def _corpus_path(stem: str) -> str | None:
+    directory = corpus_dir()
+    for suffix in _SUFFIXES:
+        path = os.path.join(directory, stem + suffix)
+        if os.path.isfile(path):
+            return path
+    return None
+
+
+def load_corpus_program(name: str) -> RiscvTraceProgram:
+    """Load ``riscv:<kernel>`` from the corpus (memoised)."""
+    if not name.startswith(RISCV_PREFIX):
+        name = RISCV_PREFIX + name
+    cached = _memo.get(name)
+    if cached is not None:
+        return cached
+    stem = name[len(RISCV_PREFIX):]
+    path = _corpus_path(stem)
+    if (path is None or os.sep in stem
+            or (os.altsep and os.altsep in stem)):
+        raise unknown_program(name)
+    _, insns = load_file(path)
+    program = RiscvTraceProgram(name, insns)
+    _memo[name] = program
+    return program
+
+
+def clear_corpus_memo() -> None:
+    """Drop memoised programs (tests that point at temp corpora)."""
+    _memo.clear()

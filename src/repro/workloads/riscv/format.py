@@ -1,0 +1,326 @@
+"""The compact RV64 dynamic-trace format: text and packed binary codecs.
+
+One trace is an ordered sequence of :class:`RvInsn` records, one per
+*retired* instruction (the correct path only; wrong-path work is
+synthesised by the simulator, exactly as for generated traces).
+
+Text form (``.rvt``) — one record per line, eight whitespace-separated
+columns with ``-`` for fields an instruction does not use::
+
+    # rvtrace v1 name=memcpy
+    # pc         op   rd  rs1 rs2 addr       taken target
+    0x00400000   addi x5  x0  -   -          -     -
+    0x00400004   ld   x6  x5  -   0x80001000 -     -
+    0x00400008   bne  -   x6  x0  -          T     0x00400000
+
+``taken`` is ``T``/``N`` and only valid on branches; ``target`` is the
+static taken-target (recorded on not-taken branches too, so the trace
+preserves the CFG edge).  Lines starting with ``#`` are comments; a
+``# rvtrace v1 name=<name>`` header names the trace.
+
+Binary form (``.rvb``) — ``RVTR`` magic, version byte, name, record
+count, then zlib-compressed fixed-width records (29 bytes each,
+little-endian ``pc:u64 op:u8 rd:u8 rs1:u8 rs2:u8 flags:u8 addr:u64
+target:u64`` with ``0xff`` / all-ones sentinels for absent fields).
+The trace **content hash** — the cache identity of every ``riscv:``
+workload — is the SHA-256 of the *uncompressed* record block, so it is
+independent of compression level, container (text vs binary) and file
+name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+from repro.workloads.riscv.isa import (JUMPS, MEM_SIZE, MNEMONIC_CLASS,
+                                       MNEMONICS, OPCODE_INDEX)
+
+__all__ = ["TraceFormatError", "RvInsn", "parse_text", "render_text",
+           "pack", "unpack", "content_hash", "validate_insn", "load_file",
+           "dump_file"]
+
+MAGIC = b"RVTR"
+FORMAT_VERSION = 1
+
+_RECORD = struct.Struct("<QBBBBBQQ")
+_NO_REG = 0xFF
+_NO_U64 = (1 << 64) - 1
+_FLAG_TAKEN = 0x01
+_FLAG_HAS_TAKEN = 0x02
+
+_BRANCHES = frozenset(m for m, c in MNEMONIC_CLASS.items()
+                      if c.name == "BRANCH")
+_MEM = frozenset(MEM_SIZE)
+
+
+class TraceFormatError(ValueError):
+    """A malformed, truncated or semantically invalid trace record."""
+
+
+class RvInsn:
+    """One retired RV64 instruction of a dynamic trace."""
+
+    __slots__ = ("pc", "op", "rd", "rs1", "rs2", "addr", "taken", "target")
+
+    def __init__(self, pc: int, op: str, rd: int | None = None,
+                 rs1: int | None = None, rs2: int | None = None,
+                 addr: int | None = None, taken: bool | None = None,
+                 target: int | None = None) -> None:
+        self.pc = pc
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RvInsn)
+                and all(getattr(self, f) == getattr(other, f)
+                        for f in self.__slots__))
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(self, f) for f in self.__slots__))
+
+    def __repr__(self) -> str:
+        return "<RvInsn " + render_line(self) + ">"
+
+
+def validate_insn(insn: RvInsn, line: int | None = None) -> None:
+    """Structural validation of one record; raises TraceFormatError."""
+    where = f" (record {line})" if line is not None else ""
+
+    def bad(why: str) -> TraceFormatError:
+        return TraceFormatError(f"{why}{where}: {insn!r}")
+
+    if insn.op not in MNEMONIC_CLASS:
+        raise TraceFormatError(
+            f"unknown opcode {insn.op!r}{where}; supported mnemonics: "
+            + " ".join(MNEMONICS))
+    for reg in (insn.rd, insn.rs1, insn.rs2):
+        if reg is not None and not 0 <= reg <= 31:
+            raise bad(f"register x{reg} out of range")
+    if not 0 <= insn.pc < _NO_U64:
+        raise bad("pc out of range")
+    if insn.op in _MEM:
+        if insn.addr is None:
+            raise bad("memory op without an effective address")
+        if not 0 <= insn.addr < _NO_U64:
+            raise bad("effective address out of range")
+        # misaligned addresses are legal and pass through untouched
+    elif insn.addr is not None:
+        raise bad("address on a non-memory op")
+    if insn.op in _BRANCHES:
+        if insn.op in JUMPS:
+            if insn.taken is False:
+                raise bad("not-taken unconditional jump")
+        elif insn.taken is None:
+            raise bad("branch without a taken flag")
+        if insn.target is None:
+            raise bad("branch without a target")
+    elif insn.taken is not None or insn.target is not None:
+        raise bad("branch fields on a non-branch op")
+    if insn.op[0] == "s" and insn.op in _MEM and insn.rd is not None:
+        raise bad("store with a destination register")
+
+
+# ---------------------------------------------------------------- text
+
+def _reg(tok: str) -> int | None:
+    if tok == "-":
+        return None
+    if not tok.startswith("x") or not tok[1:].isdigit():
+        raise TraceFormatError(f"bad register token {tok!r}")
+    return int(tok[1:])
+
+
+def _hex(tok: str) -> int | None:
+    if tok == "-":
+        return None
+    try:
+        return int(tok, 16)
+    except ValueError:
+        raise TraceFormatError(f"bad hex token {tok!r}") from None
+
+
+def parse_line(line: str) -> RvInsn:
+    cols = line.split()
+    if len(cols) != 8:
+        raise TraceFormatError(
+            f"expected 8 columns (pc op rd rs1 rs2 addr taken target), "
+            f"got {len(cols)}: {line.strip()!r}")
+    pc, op, rd, rs1, rs2, addr, taken_tok, target = cols
+    if taken_tok == "-":
+        taken = None
+    elif taken_tok in ("T", "N"):
+        taken = taken_tok == "T"
+    else:
+        raise TraceFormatError(f"bad taken token {taken_tok!r} (T/N/-)")
+    pc_val = _hex(pc)
+    if pc_val is None:
+        raise TraceFormatError("pc column may not be '-'")
+    return RvInsn(pc_val, op, _reg(rd), _reg(rs1), _reg(rs2),
+                  _hex(addr), taken, _hex(target))
+
+
+def render_line(insn: RvInsn) -> str:
+    def reg(r):
+        return "-" if r is None else f"x{r}"
+
+    def hx(v):
+        return "-" if v is None else f"0x{v:08x}"
+
+    taken = "-" if insn.taken is None else ("T" if insn.taken else "N")
+    return (f"{insn.pc:#010x} {insn.op:<6s} {reg(insn.rd):<3s} "
+            f"{reg(insn.rs1):<3s} {reg(insn.rs2):<3s} {hx(insn.addr):<12s} "
+            f"{taken} {hx(insn.target)}")
+
+
+def parse_text(text: str) -> tuple[str, list[RvInsn]]:
+    """Parse the text form; returns ``(name, records)``."""
+    name = "riscv-trace"
+    insns: list[RvInsn] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                if token.startswith("name="):
+                    name = token[5:]
+            continue
+        try:
+            insn = parse_line(line)
+            validate_insn(insn, lineno)
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from None
+        insns.append(insn)
+    if not insns:
+        raise TraceFormatError("empty trace: no instruction records")
+    return name, insns
+
+
+def render_text(name: str, insns: list[RvInsn]) -> str:
+    lines = [f"# rvtrace v{FORMAT_VERSION} name={name}",
+             "# pc op rd rs1 rs2 addr taken target"]
+    lines.extend(render_line(i) for i in insns)
+    return "\n".join(lines) + "\n"
+
+
+# -------------------------------------------------------------- binary
+
+def _pack_record(insn: RvInsn) -> bytes:
+    flags = 0
+    if insn.taken is not None:
+        flags |= _FLAG_HAS_TAKEN
+        if insn.taken:
+            flags |= _FLAG_TAKEN
+    return _RECORD.pack(
+        insn.pc, OPCODE_INDEX[insn.op],
+        _NO_REG if insn.rd is None else insn.rd,
+        _NO_REG if insn.rs1 is None else insn.rs1,
+        _NO_REG if insn.rs2 is None else insn.rs2,
+        flags,
+        _NO_U64 if insn.addr is None else insn.addr,
+        _NO_U64 if insn.target is None else insn.target)
+
+
+def _unpack_record(buf: bytes, offset: int) -> RvInsn:
+    pc, opidx, rd, rs1, rs2, flags, addr, target = \
+        _RECORD.unpack_from(buf, offset)
+    if opidx >= len(MNEMONICS):
+        raise TraceFormatError(f"unknown opcode index {opidx} "
+                               f"(record {offset // _RECORD.size})")
+    taken = None
+    if flags & _FLAG_HAS_TAKEN:
+        taken = bool(flags & _FLAG_TAKEN)
+    return RvInsn(pc, MNEMONICS[opidx],
+                  None if rd == _NO_REG else rd,
+                  None if rs1 == _NO_REG else rs1,
+                  None if rs2 == _NO_REG else rs2,
+                  None if addr == _NO_U64 else addr,
+                  taken,
+                  None if target == _NO_U64 else target)
+
+
+def record_block(insns: list[RvInsn]) -> bytes:
+    """The canonical uncompressed record block (hash input)."""
+    return b"".join(_pack_record(i) for i in insns)
+
+
+def content_hash(insns: list[RvInsn]) -> str:
+    """SHA-256 of the canonical record block — the trace's identity."""
+    return hashlib.sha256(record_block(insns)).hexdigest()
+
+
+def pack(name: str, insns: list[RvInsn]) -> bytes:
+    """Serialise to the packed binary container."""
+    if not insns:
+        raise TraceFormatError("empty trace: no instruction records")
+    for index, insn in enumerate(insns):
+        validate_insn(insn, index)
+    name_bytes = name.encode("utf-8")
+    if len(name_bytes) > 255:
+        raise TraceFormatError("trace name longer than 255 bytes")
+    payload = zlib.compress(record_block(insns), 9)
+    return (MAGIC + bytes((FORMAT_VERSION, len(name_bytes))) + name_bytes
+            + struct.pack("<II", len(insns), len(payload)) + payload)
+
+
+def unpack(data: bytes) -> tuple[str, list[RvInsn]]:
+    """Parse the packed binary container; returns ``(name, records)``."""
+    if len(data) < 6 or data[:4] != MAGIC:
+        raise TraceFormatError("not an rvtrace binary (bad magic)")
+    version, name_len = data[4], data[5]
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported rvtrace version {version}")
+    offset = 6
+    if len(data) < offset + name_len + 8:
+        raise TraceFormatError("truncated rvtrace header")
+    name = data[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    count, payload_len = struct.unpack_from("<II", data, offset)
+    offset += 8
+    payload = data[offset:offset + payload_len]
+    if len(payload) != payload_len:
+        raise TraceFormatError("truncated rvtrace payload")
+    try:
+        block = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise TraceFormatError(f"corrupt rvtrace payload: {exc}") from None
+    if len(block) != count * _RECORD.size:
+        raise TraceFormatError(
+            f"truncated record block: expected {count} records "
+            f"({count * _RECORD.size} bytes), got {len(block)} bytes")
+    if count == 0:
+        raise TraceFormatError("empty trace: no instruction records")
+    insns = [_unpack_record(block, i * _RECORD.size) for i in range(count)]
+    for index, insn in enumerate(insns):
+        validate_insn(insn, index)
+    return name, insns
+
+
+# ---------------------------------------------------------------- files
+
+def load_file(path) -> tuple[str, list[RvInsn]]:
+    """Load a trace from ``.rvt`` (text) or ``.rvb`` (binary)."""
+    path = str(path)
+    if path.endswith(".rvt"):
+        with open(path, encoding="utf-8") as handle:
+            return parse_text(handle.read())
+    with open(path, "rb") as handle:
+        return unpack(handle.read())
+
+
+def dump_file(path, name: str, insns: list[RvInsn]) -> None:
+    """Write a trace as ``.rvt`` (text) or ``.rvb`` (binary) by suffix."""
+    path = str(path)
+    if path.endswith(".rvt"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_text(name, insns))
+    else:
+        with open(path, "wb") as handle:
+            handle.write(pack(name, insns))

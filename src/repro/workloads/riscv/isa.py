@@ -1,0 +1,100 @@
+"""RV64I(+M) mnemonic tables and the RvInsn → MicroOp decoder.
+
+The simulator consumes :class:`~repro.isa.instructions.MicroOp` streams;
+this module maps each supported RISC-V mnemonic onto an
+:class:`~repro.isa.instructions.OpClass` and the existing flat register
+model (``x0``..``x31`` occupy the integer register file indices 0..31,
+exactly the space the synthetic generator draws from).
+
+Decode conventions:
+
+* ``x0`` is the architectural zero register.  A write to ``x0`` is
+  discarded (``dst = REG_INVALID``) and a read from ``x0`` creates no
+  dependence (it is dropped from ``srcs``) — the rename stage treats an
+  absent source as always-ready, which is precisely RISC-V semantics.
+* Load/store effective addresses come from the trace record, not from
+  register values (the simulator is timing-only); the access width is
+  implied by the mnemonic (``lb``=1 .. ``ld``=8).  Misaligned addresses
+  are passed through unchanged — the cache model handles any address.
+* Branch records carry the *static* taken-target plus the dynamic
+  outcome; decode follows the :class:`MicroOp` convention that
+  ``target`` holds the fall-through address for not-taken branches.
+* ``jal``/``jalr`` are unconditional (always ``taken``).  Their link
+  register write is *not* modelled as a dependence (``dst`` stays
+  ``REG_INVALID``): the return-address chain is predicted perfectly by
+  real front ends and would otherwise serialise every call.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MicroOp, OpClass
+from repro.isa.registers import REG_INVALID
+
+__all__ = ["MNEMONICS", "OPCODE_INDEX", "MNEMONIC_CLASS", "MEM_SIZE",
+           "JUMPS", "to_micro_op"]
+
+_IALU = (
+    "add addi addiw addw and andi auipc lui or ori sext.w sll slli slliw "
+    "sllw slt slti sltiu sltu sra srai sraiw sraw srl srli srliw srlw sub "
+    "subw xor xori"
+)
+_IMUL = "mul mulh mulhsu mulhu mulw"
+_IDIV = "div divu divuw divw rem remu remuw remw"
+
+#: loads/stores with their access width in bytes
+MEM_SIZE: dict[str, int] = {
+    "lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4, "ld": 8,
+    "sb": 1, "sh": 2, "sw": 4, "sd": 8,
+}
+
+_LOADS = frozenset(m for m in MEM_SIZE if m[0] == "l")
+_STORES = frozenset(m for m in MEM_SIZE if m[0] == "s")
+_CONDITIONAL = frozenset("beq bne blt bge bltu bgeu".split())
+
+#: unconditional control transfers (always taken, may write a link reg)
+JUMPS = frozenset(("jal", "jalr"))
+
+#: mnemonic → OpClass for every instruction the frontend accepts
+MNEMONIC_CLASS: dict[str, OpClass] = {}
+MNEMONIC_CLASS.update({m: OpClass.IALU for m in _IALU.split()})
+MNEMONIC_CLASS.update({m: OpClass.IMUL for m in _IMUL.split()})
+MNEMONIC_CLASS.update({m: OpClass.IDIV for m in _IDIV.split()})
+MNEMONIC_CLASS.update({m: OpClass.LOAD for m in _LOADS})
+MNEMONIC_CLASS.update({m: OpClass.STORE for m in _STORES})
+MNEMONIC_CLASS.update({m: OpClass.BRANCH for m in _CONDITIONAL})
+MNEMONIC_CLASS.update({m: OpClass.BRANCH for m in JUMPS})
+MNEMONIC_CLASS["nop"] = OpClass.IALU
+
+#: stable mnemonic order — the packed binary format stores the index
+#: into this tuple, so *extending* the ISA table requires a format
+#: version bump (see ``format.FORMAT_VERSION``)
+MNEMONICS: tuple[str, ...] = tuple(sorted(MNEMONIC_CLASS))
+OPCODE_INDEX: dict[str, int] = {m: i for i, m in enumerate(MNEMONICS)}
+
+
+def to_micro_op(insn) -> MicroOp:
+    """Decode one validated :class:`~repro.workloads.riscv.format.RvInsn`
+    into a :class:`MicroOp`.
+
+    Assumes the record passed structural validation (see
+    ``format.validate_insn``); this is the hot path, re-run for every
+    replay lap of a trace, so it does no checking of its own.
+    """
+    mnem = insn.op
+    cls = MNEMONIC_CLASS[mnem]
+    dst = REG_INVALID
+    if insn.rd is not None and insn.rd != 0 and cls is not OpClass.BRANCH:
+        dst = insn.rd
+    srcs = tuple(r for r in (insn.rs1, insn.rs2)
+                 if r is not None and r != 0)
+    if cls is OpClass.LOAD:
+        return MicroOp(insn.pc, cls, dst, srcs,
+                       addr=insn.addr, size=MEM_SIZE[mnem])
+    if cls is OpClass.STORE:
+        return MicroOp(insn.pc, cls, REG_INVALID, srcs,
+                       addr=insn.addr, size=MEM_SIZE[mnem])
+    if cls is OpClass.BRANCH:
+        taken = True if mnem in JUMPS else bool(insn.taken)
+        target = insn.target if taken else insn.pc + 4
+        return MicroOp(insn.pc, cls, srcs=srcs, taken=taken, target=target)
+    return MicroOp(insn.pc, cls, dst, srcs)

@@ -1,0 +1,280 @@
+"""Hand-written RV64 test kernels and the walker that records them.
+
+``tools/rv_trace.py generate`` needs dynamic traces without a RISC-V
+toolchain, so each corpus program is a small *static* RV64 kernel laid
+out by :class:`_Kernel` and then executed symbolically: the walker
+follows branches (whose outcomes and effective addresses come from
+seeded, per-slot-visit callables), emitting one :class:`RvInsn` per
+retired instruction with consistent program counters — a taken branch
+really lands on its target's pc, so I-cache, BTB and predictor all see
+a plausible CFG.
+
+Every kernel is an infinite loop (the last instruction jumps back to
+the top), which makes the recorded trace seamlessly replayable: the
+final record's taken edge points at the first record's pc.
+
+The six kernels cover the behaviour space the resizing mechanism
+discriminates:
+
+========== =========================================================
+memcpy     strided streaming copy, independent loads (high MLP)
+listchase  pointer chase over an 8 MB pool, serial loads (no MLP)
+matmul     blocked inner product over L1-resident tiles (ILP-bound)
+hashprobe  data-dependent probes over an 8 MB table (windowed MLP)
+bsort      compare-and-swap over an L2-resident array (branchy)
+mixed      alternating streaming / compute phases (phase changes)
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.workloads.riscv.format import RvInsn
+
+__all__ = ["KERNELS", "kernel_names", "build_kernel", "DEFAULT_OPS"]
+
+_CODE_BASE = 0x0040_0000
+#: dynamic trace length each corpus kernel is recorded at
+DEFAULT_OPS = 8192
+
+_CONDITIONAL = frozenset("beq bne blt bge bltu bgeu".split())
+
+
+class _Slot:
+    __slots__ = ("op", "rd", "rs1", "rs2", "addr", "label", "taken")
+
+    def __init__(self, op, rd=None, rs1=None, rs2=None, addr=None,
+                 label=None, taken=None):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.addr = addr
+        self.label = label
+        self.taken = taken
+
+
+class _Kernel:
+    """A static RV64 code sequence plus the walker that records it."""
+
+    def __init__(self, base: int = _CODE_BASE):
+        self.base = base
+        self.slots: list[_Slot] = []
+        self.labels: dict[str, int] = {}
+
+    def label(self, name: str) -> None:
+        self.labels[name] = len(self.slots)
+
+    def alu(self, op: str, rd: int, rs1=None, rs2=None) -> None:
+        self.slots.append(_Slot(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def load(self, op: str, rd: int, rs1: int, addr) -> None:
+        """``addr`` is an int or a callable of the slot's visit count."""
+        self.slots.append(_Slot(op, rd=rd, rs1=rs1, addr=addr))
+
+    def store(self, op: str, rs2: int, rs1: int, addr) -> None:
+        self.slots.append(_Slot(op, rs1=rs1, rs2=rs2, addr=addr))
+
+    def branch(self, op: str, rs1, rs2, label: str, taken=True) -> None:
+        """``taken`` is a bool or a callable of the visit count; ignored
+        (always taken) for ``jal``/``jalr``."""
+        self.slots.append(_Slot(op, rs1=rs1, rs2=rs2, label=label,
+                                taken=taken))
+
+    def jump(self, label: str, rd=None) -> None:
+        self.slots.append(_Slot("jal", rd=rd, label=label))
+
+    def run(self, n_ops: int) -> list[RvInsn]:
+        """Record ``n_ops`` retired instructions starting at slot 0."""
+        out: list[RvInsn] = []
+        visits = [0] * len(self.slots)
+        idx = 0
+        while len(out) < n_ops:
+            if idx >= len(self.slots):
+                raise AssertionError("kernel fell off the end of its code")
+            slot = self.slots[idx]
+            visit = visits[idx]
+            visits[idx] += 1
+            pc = self.base + 4 * idx
+            addr = slot.addr(visit) if callable(slot.addr) else slot.addr
+            if slot.label is not None:
+                target = self.base + 4 * self.labels[slot.label]
+                if slot.op in _CONDITIONAL:
+                    taken = (slot.taken(visit) if callable(slot.taken)
+                             else bool(slot.taken))
+                    out.append(RvInsn(pc, slot.op, rs1=slot.rs1,
+                                      rs2=slot.rs2, taken=taken,
+                                      target=target))
+                else:  # jal/jalr: unconditional
+                    out.append(RvInsn(pc, slot.op, rd=slot.rd,
+                                      rs1=slot.rs1, target=target))
+                    taken = True
+                idx = self.labels[slot.label] if taken else idx + 1
+                continue
+            out.append(RvInsn(pc, slot.op, rd=slot.rd, rs1=slot.rs1,
+                              rs2=slot.rs2, addr=addr))
+            idx += 1
+        return out
+
+
+def _rng(name: str) -> random.Random:
+    return random.Random(zlib.crc32(name.encode()))
+
+
+# ------------------------------------------------------------- kernels
+
+def _memcpy(n_ops: int) -> list[RvInsn]:
+    """Sparse streaming copy: 8 independent loads + 8 stores per lap,
+    advancing 4 KB per iteration — a 1.7 MB source and destination, so
+    laps keep missing past the L2 and the stride prefetcher has eight
+    concurrent PC-indexed streams to chase."""
+    k = _Kernel()
+    src, dst, stride = 0x8000_0000, 0x8120_0000, 4096
+    k.label("loop")
+    for j in range(8):
+        k.load("ld", 16 + j, 10, lambda v, j=j: src + v * stride + j * 512)
+    for j in range(8):
+        k.store("sd", 16 + j, 11, lambda v, j=j: dst + v * stride + j * 512)
+    k.alu("addi", 10, 10)
+    k.alu("addi", 11, 11)
+    k.alu("addi", 12, 12)
+    k.branch("bne", 12, 0, "loop")
+    return k.run(n_ops)
+
+
+def _listchase(n_ops: int) -> list[RvInsn]:
+    """Pointer chase through a shuffled 8 MB node pool: each lap's chase
+    load feeds the next one's address register, so memory time is fully
+    serialised — the anti-MLP workload."""
+    rng = _rng("listchase")
+    pool, node_bytes = 0x9000_0000, 64
+    order = list(range(128 * 1024))  # 8 MB / 64 B nodes
+    rng.shuffle(order)
+
+    def node(v):
+        return pool + order[v % len(order)] * node_bytes
+
+    k = _Kernel()
+    k.label("loop")
+    k.load("ld", 5, 5, node)                      # next = node->next
+    k.load("ld", 6, 5, lambda v: node(v) + 8)     # payload
+    k.alu("add", 7, 7, 6)
+    k.alu("xor", 9, 9, 6)
+    k.alu("addi", 8, 8)
+    k.branch("bne", 8, 0, "loop")
+    return k.run(n_ops)
+
+
+def _matmul(n_ops: int) -> list[RvInsn]:
+    """Blocked inner product: two 16 KB tiles stay L1-resident while the
+    multiply/accumulate chain bounds throughput — ILP territory."""
+    a_tile, b_tile, tile = 0xA000_0000, 0xA002_0000, 16 * 1024
+    k = _Kernel()
+    k.label("loop")
+    k.load("ld", 6, 10, lambda v: a_tile + (v * 8) % tile)
+    k.load("ld", 7, 11, lambda v: b_tile + (v * 128) % tile)
+    k.alu("mul", 8, 6, 7)
+    k.alu("add", 9, 9, 8)
+    k.alu("addi", 10, 10)
+    k.branch("bne", 12, 0, "loop")
+    return k.run(n_ops)
+
+
+def _hashprobe(n_ops: int) -> list[RvInsn]:
+    """Open-addressing probe over an 8 MB table: independent random
+    loads (MLP limited only by the window) guarded by a data-dependent
+    hit/miss branch; a miss falls through to a second probe."""
+    rng = _rng("hashprobe")
+    table, table_bytes = 0xB000_0000, 8 * 1024 * 1024
+
+    def probe(_v):
+        return table + rng.randrange(table_bytes // 8) * 8
+
+    k = _Kernel()
+    k.label("loop")
+    k.alu("xor", 6, 5, 7)
+    k.alu("srli", 6, 6)
+    k.load("ld", 8, 6, probe)
+    # most probes hit an empty slot (taken = skip the second probe):
+    # biased enough that the predictor keeps the window full, so the
+    # independent probe loads - not mispredict flushes - bound progress
+    k.branch("beq", 8, 0, "skip", taken=lambda _v: rng.random() < 0.92)
+    k.load("lbu", 9, 8, probe)                    # occupied: reprobe
+    k.alu("add", 14, 14, 9)
+    k.label("skip")
+    k.alu("addi", 5, 5)
+    k.branch("bne", 11, 0, "loop")
+    return k.run(n_ops)
+
+
+def _bsort(n_ops: int) -> list[RvInsn]:
+    """Compare-and-swap passes over an L2-resident 128 KB int array:
+    the compare branch is ~50/50 data-dependent, so the predictor — not
+    memory — limits progress."""
+    rng = _rng("bsort")
+    arr, arr_bytes = 0xC000_0000, 128 * 1024
+
+    def elem(v):
+        return arr + (v * 4) % arr_bytes
+
+    k = _Kernel()
+    k.label("loop")
+    k.load("lw", 6, 10, elem)
+    k.load("lw", 7, 10, lambda v: elem(v) + 4)
+    k.branch("blt", 6, 7, "noswap", taken=lambda _v: rng.random() < 0.55)
+    k.store("sw", 7, 10, elem)
+    k.store("sw", 6, 10, lambda v: elem(v) + 4)
+    k.label("noswap")
+    k.alu("addi", 10, 10)
+    k.alu("addi", 11, 11)
+    k.branch("bne", 11, 0, "loop")
+    return k.run(n_ops)
+
+
+def _mixed(n_ops: int) -> list[RvInsn]:
+    """Alternating phases: a streaming copy burst (memory-bound), then a
+    multiply/accumulate burst over a hot 8 KB block (compute-bound) —
+    the phase-change stimulus the dynamic resizing policy tracks."""
+    stream, hot = 0xD000_0000, 0xD800_0000
+    k = _Kernel()
+    k.label("loopA")                               # streaming phase
+    k.load("ld", 6, 10, lambda v: stream + v * 1024)
+    k.store("sd", 6, 11, lambda v: stream + 0x40_0000 + v * 1024)
+    k.alu("addi", 10, 10)
+    k.branch("bne", 12, 0, "loopA",
+             taken=lambda v: v % 256 != 255)
+    k.label("loopB")                               # compute phase
+    k.load("ld", 6, 13, lambda v: hot + (v * 8) % 8192)
+    k.alu("mul", 8, 6, 7)
+    k.alu("add", 9, 9, 8)
+    k.alu("addi", 13, 13)
+    k.branch("bne", 14, 0, "loopB",
+             taken=lambda v: v % 341 != 340)
+    k.jump("loopA")
+    return k.run(n_ops)
+
+
+KERNELS = {
+    "memcpy": _memcpy,
+    "listchase": _listchase,
+    "matmul": _matmul,
+    "hashprobe": _hashprobe,
+    "bsort": _bsort,
+    "mixed": _mixed,
+}
+
+
+def kernel_names() -> tuple[str, ...]:
+    return tuple(sorted(KERNELS))
+
+
+def build_kernel(name: str, n_ops: int = DEFAULT_OPS) -> list[RvInsn]:
+    """Record ``n_ops`` dynamic instructions of kernel ``name``."""
+    try:
+        builder = KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown riscv kernel {name!r}; known: "
+                       + ", ".join(kernel_names())) from None
+    return builder(n_ops)

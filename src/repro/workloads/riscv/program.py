@@ -1,0 +1,98 @@
+"""RiscvTraceProgram: adapt a decoded RV64 trace into a simulator Trace.
+
+The adapter makes a recorded dynamic trace *interchangeable* with
+``generate_trace`` output: it produces a :class:`~repro.workloads.Trace`
+with the same wrong-path synthesis machinery, deterministic per
+``(content, seed)``, plus cache warm-up regions derived from the
+trace's own data footprint (standing in for the profile metadata the
+synthetic generator supplies).
+
+Traces are finite recordings of loop kernels, so a request for more
+micro-ops than the recording holds is served by *replaying* the trace
+cyclically — the behaviour of a program whose outer loop re-runs the
+same working set, which keeps steady-state cache behaviour faithful
+(a footprint larger than the L2 keeps missing on every lap).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.riscv import format as rvformat
+from repro.workloads.riscv.isa import to_micro_op
+from repro.workloads.trace import Trace, _mix
+
+__all__ = ["RiscvTraceProgram"]
+
+_LINE = 64
+#: address gap (bytes) that splits the footprint into separate regions
+_CLUSTER_GAP = 64 * 1024
+#: regions up to this size are pre-warmed into the L2 (larger ones miss
+#: in steady state anyway, so warming them would be misleading)
+_WARM_LIMIT = 512 * 1024
+#: ...and into the L1D as well when at most this big
+_L1_LIMIT = 32 * 1024
+_DEFAULT_DATA_BASE = 0x8000_0000
+
+
+class RiscvTraceProgram:
+    """One RISC-V trace workload, addressable as ``riscv:<name>``."""
+
+    def __init__(self, name: str, insns: list[rvformat.RvInsn],
+                 content_hash: str | None = None) -> None:
+        if not insns:
+            raise rvformat.TraceFormatError(
+                "empty trace: no instruction records")
+        self.name = name if name.startswith("riscv:") else f"riscv:{name}"
+        self.insns = insns
+        self.content_hash = content_hash or rvformat.content_hash(insns)
+        (self.data_base, self.data_size, self.warm_regions,
+         self.hot_base, self.hot_size) = self._footprint()
+
+    # ------------------------------------------------------ footprint
+
+    def _footprint(self):
+        lines = sorted({i.addr - i.addr % _LINE
+                        for i in self.insns if i.addr is not None})
+        if not lines:
+            return _DEFAULT_DATA_BASE, 4096, [], None, 8192
+        clusters: list[tuple[int, int]] = []  # (base, bytes)
+        start = prev = lines[0]
+        for line in lines[1:]:
+            if line - prev > _CLUSTER_GAP:
+                clusters.append((start, prev + _LINE - start))
+                start = line
+            prev = line
+        clusters.append((start, prev + _LINE - start))
+        warm = [(base, span, span <= _L1_LIMIT)
+                for base, span in clusters if span <= _WARM_LIMIT]
+        data_base = lines[0]
+        data_size = max(4096, lines[-1] + _LINE - data_base)
+        if warm:
+            hot_base, hot_size, _ = max(warm, key=lambda r: r[1])
+        else:
+            hot_base, hot_size = data_base, 8192
+        return data_base, data_size, warm, hot_base, hot_size
+
+    # ---------------------------------------------------------- trace
+
+    def micro_ops(self) -> list:
+        """Decode one full lap of the recording."""
+        return [to_micro_op(i) for i in self.insns]
+
+    def trace(self, n_ops: int, seed: int = 1) -> Trace:
+        """A simulator trace of exactly ``n_ops`` micro-ops.
+
+        The recording is replayed cyclically to fill ``n_ops``; the
+        wrong-path seed folds the trace's content hash with ``seed``,
+        so wrong-path work is deterministic per (content, seed) and two
+        distinct recordings never share a wrong path by accident.
+        """
+        if n_ops <= 0:
+            raise ValueError("n_ops must be positive")
+        ops = []
+        while len(ops) < n_ops:
+            ops.extend(to_micro_op(i) for i in self.insns)
+        del ops[n_ops:]
+        wp_seed = _mix(seed ^ int(self.content_hash[:16], 16))
+        return Trace(self.name, ops, wp_seed, self.data_base,
+                     self.data_size, warm_regions=list(self.warm_regions),
+                     hot_base=self.hot_base, hot_size=self.hot_size)

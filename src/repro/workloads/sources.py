@@ -1,0 +1,95 @@
+"""Workload-source registry: one dispatch point for every program name.
+
+Three namespaces feed the simulator with traces:
+
+* the synthetic Table-3 profile table (bare names, ``mcf`` ...),
+* the adversarial generators (``adv_*``), and
+* the RISC-V trace corpus (``riscv:<kernel>``).
+
+Everything that turns a program *name* into a trace — sweeps, campaign
+workers, the service, verify oracles, the CLI — goes through
+:func:`trace_for_program`, so a new source only has to be added here.
+:func:`program_cache_identity` supplies the string that stands for the
+program inside ``result_key``: for ``riscv:`` workloads it folds in the
+trace content hash, making cache identity exact (editing a trace file
+changes every derived key; renaming it does not).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.errors import UnknownProgramError, unknown_program
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import profile
+from repro.workloads.trace import Trace
+
+__all__ = ["trace_for_program", "ensure_program", "known_program",
+           "program_cache_identity", "workload_namespaces",
+           "all_program_names"]
+
+_RISCV_PREFIX = "riscv:"
+
+
+def trace_for_program(program: str, n_ops: int, seed: int = 1) -> Trace:
+    """Build the trace for ``program`` from whichever source owns it."""
+    if program.startswith(_RISCV_PREFIX):
+        from repro.workloads.riscv.corpus import load_corpus_program
+        return load_corpus_program(program).trace(n_ops, seed)
+    return generate_trace(profile(program), n_ops=n_ops, seed=seed)
+
+
+def ensure_program(program: str) -> None:
+    """Validate that ``program`` resolves; raises UnknownProgramError.
+
+    Cheap: table lookups for synthetic names, a directory probe for
+    ``riscv:`` names — no trace is decoded or generated.
+    """
+    if program.startswith(_RISCV_PREFIX):
+        from repro.workloads.riscv.corpus import riscv_program_names
+        if program not in riscv_program_names():
+            raise unknown_program(program)
+        return
+    profile(program)
+
+
+def known_program(program: str) -> bool:
+    """True when :func:`ensure_program` would accept ``program``."""
+    try:
+        ensure_program(program)
+    except UnknownProgramError:
+        return False
+    return True
+
+
+def program_cache_identity(program: str) -> str:
+    """The string that identifies ``program`` in result keys.
+
+    Synthetic programs are fully determined by their name (the profile
+    table is versioned by ``SIM_VERSION``); a ``riscv:`` program is
+    determined by its trace *content*, so the identity carries the
+    content hash.  SMT program lists (``a+b``) resolve per part.
+    """
+    if "+" in program:
+        return "+".join(program_cache_identity(p)
+                        for p in program.split("+"))
+    if program.startswith(_RISCV_PREFIX):
+        from repro.workloads.riscv.corpus import load_corpus_program
+        return f"{program}@{load_corpus_program(program).content_hash[:16]}"
+    return program
+
+
+def all_program_names() -> tuple[str, ...]:
+    """Every addressable program: table names plus the riscv corpus
+    (adversarial ``adv_*`` names stay out, as they do for
+    ``program_names`` — they are diagnostics, not benchmarks)."""
+    from repro.workloads.profiles import program_names
+    from repro.workloads.riscv.corpus import riscv_program_names
+    return program_names() + riscv_program_names()
+
+
+def workload_namespaces() -> dict[str, str]:
+    """Namespace → one-line description (for ``/v1/programs`` and CLI)."""
+    return {
+        "table": "synthetic Table-3 SPEC2006 profiles (bare names)",
+        "adv_*": "adversarial stress generators",
+        "riscv:*": "RV64 dynamic-trace corpus (benchmarks/riscv)",
+    }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Campaign smoke test over riscv trace workloads.
+
+Drives the full campaign pipeline — plan (``JobRecorder``), fan out
+(``execute_campaign`` worker pool, each worker re-decoding the corpus
+trace from disk), content-addressed store — over riscv programs, then
+re-executes the identical plan to prove every job is answered from the
+cache (the dedup contract the service relies on).  Writes a JSON
+artifact with per-job digests for CI upload.
+
+    python tools/riscv_campaign_smoke.py \
+        --programs riscv:memcpy,riscv:hashprobe --jobs 2 \
+        --out riscv-campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.config import base_config, dynamic_config
+from repro.experiments.cache import JobRecorder, ResultStore, recording
+from repro.experiments.parallel import execute_campaign
+from repro.experiments.runner import Settings, Sweep
+from repro.verify.digest import result_digest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--programs",
+                        default="riscv:memcpy,riscv:hashprobe",
+                        help="comma-separated riscv program list")
+    parser.add_argument("--warmup", type=int, default=1_000)
+    parser.add_argument("--measure", type=int, default=3_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the fan-out")
+    parser.add_argument("--out", default="riscv-campaign.json",
+                        help="JSON artifact path")
+    args = parser.parse_args(argv)
+
+    programs = tuple(p for p in args.programs.split(",") if p)
+    settings = Settings(warmup=args.warmup, measure=args.measure,
+                        seed=args.seed, only_programs=programs)
+    configs = {"base": base_config(), "dynamic": dynamic_config(3)}
+
+    def plan(store: ResultStore) -> JobRecorder:
+        recorder = JobRecorder()
+        sweep = Sweep(settings, store=store)
+        with recording(recorder):
+            for program in programs:
+                for config in configs.values():
+                    sweep.run(program, config)
+        return recorder
+
+    store = ResultStore()
+    report = execute_campaign(plan(store), store, jobs=args.jobs)
+    print(f"fan-out: planned {report.planned}, executed "
+          f"{report.executed} on {report.workers} workers")
+    if report.executed != len(programs) * len(configs):
+        print("FAIL: cold run did not execute every planned job")
+        return 1
+
+    rerun = execute_campaign(plan(store), store, jobs=args.jobs)
+    print(f"re-run: planned {rerun.planned}, already cached "
+          f"{rerun.already_cached}, executed {rerun.executed}")
+    if rerun.executed != 0 or rerun.already_cached != report.planned:
+        print("FAIL: warm re-run was not fully served from the store")
+        return 1
+
+    sweep = Sweep(settings, store=store)
+    rows = []
+    for program in programs:
+        for model, config in configs.items():
+            result = sweep.run(program, config)
+            rows.append({"program": program, "model": model,
+                         "ipc": round(result.ipc, 4),
+                         "digest": result_digest(result)})
+            print(f"  {program:18s} {model:8s} ipc={result.ipc:.3f} "
+                  f"digest={result_digest(result)[:12]}")
+    if sweep.sim_runs != 0:
+        print("FAIL: sweep re-simulated instead of reading the store")
+        return 1
+
+    artifact = {"programs": list(programs),
+                "warmup": args.warmup, "measure": args.measure,
+                "seed": args.seed, "results": rows,
+                "fanout": {"planned": report.planned,
+                           "executed": report.executed,
+                           "workers": report.workers},
+                "rerun_cached": rerun.already_cached}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}; campaign smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""rv_trace: convert, validate and generate RV64 dynamic traces.
+
+The simulator's RISC-V frontend (``repro.workloads.riscv``) consumes
+traces in two containers: human-editable text (``.rvt``) and packed
+binary (``.rvb``).  This tool moves between them, checks files, and —
+because requiring a RISC-V toolchain would defeat the repo's
+from-scratch reproducibility — *generates* traces by symbolically
+executing the small hand-written kernels in
+``repro.workloads.riscv.kernels``.
+
+Subcommands::
+
+    generate [KERNEL ...]      emit kernels (default: all) as .rvb
+        --out-dir DIR          destination (default: benchmarks/riscv)
+        --format {rvb,rvt}     container (default: rvb)
+        --ops N                dynamic instructions per trace
+    convert IN OUT             container by file suffix (.rvt <-> .rvb)
+    validate PATH [PATH ...]   structural check + content hash
+    info PATH                  decode and summarise one trace
+
+Examples::
+
+    python tools/rv_trace.py generate
+    python tools/rv_trace.py convert benchmarks/riscv/memcpy.rvb /tmp/m.rvt
+    python tools/rv_trace.py validate benchmarks/riscv/*.rvb
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import Counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.workloads.riscv import (DEFAULT_OPS, build_kernel, content_hash,
+                                   kernel_names, to_micro_op)
+from repro.workloads.riscv.format import (TraceFormatError, dump_file,
+                                          load_file)
+from repro.workloads.riscv.isa import MNEMONIC_CLASS
+
+
+def cmd_generate(args) -> int:
+    names = args.kernels or list(kernel_names())
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name in names:
+        insns = build_kernel(name, args.ops)
+        path = os.path.join(args.out_dir, f"{name}.{args.format}")
+        dump_file(path, name, insns)
+        print(f"{path}: {len(insns)} records, "
+              f"sha256 {content_hash(insns)[:16]}")
+    return 0
+
+
+def cmd_convert(args) -> int:
+    name, insns = load_file(args.input)
+    dump_file(args.output, name, insns)
+    print(f"{args.output}: {len(insns)} records "
+          f"(name={name}, sha256 {content_hash(insns)[:16]})")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            name, insns = load_file(path)
+        except (TraceFormatError, OSError, UnicodeDecodeError) as exc:
+            print(f"{path}: INVALID - {exc}")
+            status = 1
+            continue
+        # the decoder must accept every record, not just the codec
+        for insn in insns:
+            to_micro_op(insn)
+        print(f"{path}: ok - {len(insns)} records, name={name}, "
+              f"sha256 {content_hash(insns)[:16]}")
+    return status
+
+
+def cmd_info(args) -> int:
+    name, insns = load_file(args.path)
+    classes = Counter(MNEMONIC_CLASS[i.op].name for i in insns)
+    mem = [i.addr for i in insns if i.addr is not None]
+    taken = sum(1 for i in insns
+                if i.taken or (i.taken is None and i.target is not None))
+    branches = sum(1 for i in insns if i.target is not None)
+    print(f"name        : {name}")
+    print(f"records     : {len(insns)}")
+    print(f"sha256      : {content_hash(insns)}")
+    print(f"classes     : " + ", ".join(
+        f"{cls.lower()}={classes[cls]}" for cls in sorted(classes)))
+    if mem:
+        lo, hi = min(mem), max(mem)
+        print(f"data span   : [{lo:#x}, {hi:#x}] "
+              f"({(hi - lo) / 1024:.0f} KiB)")
+    if branches:
+        print(f"branches    : {branches} ({taken / branches:.0%} taken)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/rv_trace.py",
+        description=__doc__.split("\n\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit traces from built-in "
+                                          "RV test kernels")
+    gen.add_argument("kernels", nargs="*",
+                     help=f"kernel names (default: all of "
+                          f"{', '.join(kernel_names())})")
+    gen.add_argument("--out-dir", default=os.path.join("benchmarks",
+                                                       "riscv"))
+    gen.add_argument("--format", choices=("rvb", "rvt"), default="rvb")
+    gen.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                     help="dynamic instructions per trace")
+    gen.set_defaults(func=cmd_generate)
+
+    conv = sub.add_parser("convert", help="convert text <-> binary")
+    conv.add_argument("input")
+    conv.add_argument("output")
+    conv.set_defaults(func=cmd_convert)
+
+    val = sub.add_parser("validate", help="structural check")
+    val.add_argument("paths", nargs="+")
+    val.set_defaults(func=cmd_validate)
+
+    info = sub.add_parser("info", help="summarise one trace")
+    info.add_argument("path")
+    info.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (TraceFormatError, OSError, KeyError) as exc:
+        print(f"rv_trace: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
